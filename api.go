@@ -1,0 +1,314 @@
+package repro
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/algo/exact"
+	"repro/internal/core"
+	"repro/internal/general"
+	"repro/internal/mapping"
+	"repro/internal/pareto"
+	"repro/internal/pipeline"
+	"repro/internal/repl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Model types (Section 3 of the paper; see internal/pipeline).
+type (
+	// Stage is one stage of a linear chain: computation requirement plus
+	// output data size.
+	Stage = pipeline.Stage
+	// Application is a pipelined linear-chain workflow.
+	Application = pipeline.Application
+	// Processor is a multi-modal (DVFS) compute resource.
+	Processor = pipeline.Processor
+	// Platform is the target machine: processors, link bandwidths, and
+	// per-application virtual input/output links.
+	Platform = pipeline.Platform
+	// Instance bundles applications, platform and energy model.
+	Instance = pipeline.Instance
+	// EnergyModel is Static + speed^Alpha per enrolled processor.
+	EnergyModel = pipeline.EnergyModel
+	// CommModel selects overlapped or serialized communications.
+	CommModel = pipeline.CommModel
+	// Class is the platform heterogeneity level.
+	Class = pipeline.Class
+)
+
+// Mapping types (Section 3.3).
+type (
+	// Mapping assigns every application's stages to processors and modes.
+	Mapping = mapping.Mapping
+	// AppMapping is one application's ordered interval decomposition.
+	AppMapping = mapping.AppMapping
+	// PlacedInterval is a stage range on a processor at a fixed mode.
+	PlacedInterval = mapping.PlacedInterval
+	// Rule selects one-to-one or interval mappings.
+	Rule = mapping.Rule
+	// Metrics reports period, latency and energy of a mapping.
+	Metrics = mapping.Metrics
+)
+
+// Solver types (the paper's contribution; see internal/core).
+type (
+	// Request describes an optimization problem for Solve.
+	Request = core.Request
+	// Result is a solved mapping with provenance and metrics.
+	Result = core.Result
+	// Criterion is the objective to minimize.
+	Criterion = core.Criterion
+	// Method records which algorithm produced a result.
+	Method = core.Method
+)
+
+// Simulation types (see internal/sim).
+type (
+	// SimResult is the measured behaviour of one application.
+	SimResult = sim.Result
+	// SimOptions configures a simulation run.
+	SimOptions = sim.Options
+)
+
+// ParetoPoint is one (period, energy) trade-off with a witness mapping.
+type ParetoPoint = pareto.Point
+
+// Communication models.
+const (
+	Overlap   = pipeline.Overlap
+	NoOverlap = pipeline.NoOverlap
+)
+
+// Mapping rules.
+const (
+	OneToOne = mapping.OneToOne
+	Interval = mapping.Interval
+)
+
+// Objectives.
+const (
+	Period  = core.Period
+	Latency = core.Latency
+	Energy  = core.Energy
+)
+
+// Platform classes.
+const (
+	FullyHomogeneous   = pipeline.FullyHomogeneous
+	CommHomogeneous    = pipeline.CommHomogeneous
+	FullyHeterogeneous = pipeline.FullyHeterogeneous
+)
+
+// DefaultEnergy is the paper's example model: no static part, alpha = 2.
+var DefaultEnergy = pipeline.DefaultEnergy
+
+// Errors surfaced by Solve.
+var (
+	// ErrInfeasible reports that no mapping satisfies the bounds.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrUnsupported reports a criteria combination the paper rules out.
+	ErrUnsupported = core.ErrUnsupported
+)
+
+// Solve minimizes the requested criterion under the request's bounds,
+// dispatching per the paper's complexity tables (see package core).
+func Solve(inst *Instance, req Request) (Result, error) {
+	return core.Solve(inst, req)
+}
+
+// UniformBounds turns a single global weighted threshold X into the
+// per-application bound array X / W_a.
+func UniformBounds(inst *Instance, x float64) []float64 {
+	return core.UniformBounds(inst, x)
+}
+
+// StretchWeights reweights every application by the inverse of its solo
+// objective so the weighted max becomes the maximum stretch (Section 3.4).
+func StretchWeights(inst *Instance, req Request) (Instance, error) {
+	return core.StretchWeights(inst, req)
+}
+
+// Evaluate computes period, latency and energy of a mapping analytically
+// (Equations 3-6).
+func Evaluate(inst *Instance, m *Mapping, model CommModel) Metrics {
+	return mapping.Evaluate(inst, m, model)
+}
+
+// ValidateMapping checks that m is a legal mapping of inst under the rule.
+func ValidateMapping(inst *Instance, m *Mapping, rule Rule) error {
+	return m.Validate(inst, rule)
+}
+
+// Simulate executes the mapping dataset-by-dataset under the ASAP schedule
+// and returns the measured per-application latency and steady-state period.
+func Simulate(inst *Instance, m *Mapping, model CommModel, opt SimOptions) ([]SimResult, error) {
+	return sim.Simulate(inst, m, model, opt)
+}
+
+// VerifyMapping simulates m and checks the measurements against the
+// analytic formulas within tol, returning a descriptive error on mismatch.
+func VerifyMapping(inst *Instance, m *Mapping, model CommModel, tol float64) error {
+	return sim.Verify(inst, m, model, tol)
+}
+
+// ParetoPeriodEnergy computes the period/energy trade-off frontier under
+// the given rule. On the platform classes where the paper's bi-criteria
+// algorithms are polynomial (fully homogeneous interval mappings,
+// communication homogeneous one-to-one mappings) the frontier is built by a
+// polynomial candidate sweep; otherwise it falls back to exhaustive
+// enumeration, subject to the same search-space limits as Solve.
+func ParetoPeriodEnergy(inst *Instance, rule Rule, model CommModel) ([]ParetoPoint, error) {
+	cls := inst.Platform.Classify()
+	switch {
+	case rule == Interval && cls == FullyHomogeneous:
+		return pareto.PeriodEnergyFullyHom(inst, model)
+	case rule == OneToOne && cls != FullyHeterogeneous:
+		return pareto.PeriodEnergyOneToOneCommHom(inst, model)
+	default:
+		full, err := exact.ParetoFront(inst, rule, model)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]ParetoPoint, 0, len(full))
+		for _, pt := range full {
+			pts = append(pts, ParetoPoint{Period: pt.Period, Energy: pt.Energy, Mapping: pt.Mapping})
+		}
+		return pareto.Filter(pts), nil
+	}
+}
+
+// MinEnergyUnderPeriod answers the server problem on a frontier.
+func MinEnergyUnderPeriod(front []ParetoPoint, target float64) float64 {
+	return pareto.MinEnergyUnderPeriod(front, target)
+}
+
+// MinPeriodUnderEnergy answers the laptop problem on a frontier.
+func MinPeriodUnderEnergy(front []ParetoPoint, budget float64) float64 {
+	return pareto.MinPeriodUnderEnergy(front, budget)
+}
+
+// MotivatingExample returns the Section 2 / Figure 1 instance.
+func MotivatingExample() Instance { return pipeline.MotivatingExample() }
+
+// StreamingCenter returns the mixed video/audio/image preset instance on p
+// processors.
+func StreamingCenter(p int) Instance { return workload.StreamingCenter(p) }
+
+// NewHomogeneousPlatform builds a fully homogeneous platform: p identical
+// processors with the given mode set and uniform bandwidth b, sized for
+// numApps applications.
+func NewHomogeneousPlatform(p int, speeds []float64, b float64, numApps int) Platform {
+	return pipeline.NewHomogeneousPlatform(p, speeds, b, numApps)
+}
+
+// NewCommHomogeneousPlatform builds a communication homogeneous platform
+// from per-processor speed sets with uniform bandwidth b.
+func NewCommHomogeneousPlatform(speedSets [][]float64, b float64, numApps int) Platform {
+	return pipeline.NewCommHomogeneousPlatform(speedSets, b, numApps)
+}
+
+// NewHeterogeneousPlatform builds a fully heterogeneous platform from
+// explicit speed sets and bandwidth matrices.
+func NewHeterogeneousPlatform(speedSets [][]float64, bw, in, out [][]float64) Platform {
+	return pipeline.NewHeterogeneousPlatform(speedSets, bw, in, out)
+}
+
+// RandomInstance draws a reproducible random instance; see
+// internal/workload for the configuration type.
+func RandomInstance(rng *rand.Rand, cfg workload.Config) (Instance, error) {
+	return workload.Instance(rng, cfg)
+}
+
+// WorkloadConfig re-exports the random instance configuration.
+type WorkloadConfig = workload.Config
+
+// DecodeInstance parses an instance from the JSON schema used by the cmd/
+// tools, validating it.
+func DecodeInstance(r io.Reader) (Instance, error) { return pipeline.DecodeJSON(r) }
+
+// EncodeInstance writes an instance in the tool JSON schema.
+func EncodeInstance(w io.Writer, inst *Instance) error { return pipeline.EncodeJSON(w, inst) }
+
+// Replication extension (the paper's Section 6 future work; package repl).
+type (
+	// ReplicatedMapping allows an interval to be served by several
+	// processors in round-robin over data sets.
+	ReplicatedMapping = repl.Mapping
+	// ReplicatedInterval is a stage range with its replica set.
+	ReplicatedInterval = repl.Interval
+	// Replica is one processor/mode pair of a replicated interval.
+	Replica = repl.Replica
+)
+
+// LiftMapping converts a plain interval mapping into a replicated mapping
+// with one replica per interval.
+func LiftMapping(m *Mapping) ReplicatedMapping { return repl.Lift(m) }
+
+// ReplicatedMinPeriod minimizes the weighted global period over replicated
+// interval mappings on a fully homogeneous platform (replicated chain DP
+// plus Algorithm 2). Processors run at their fastest mode.
+func ReplicatedMinPeriod(inst *Instance, model CommModel) (ReplicatedMapping, float64, error) {
+	return repl.MinPeriodFullyHom(inst, model)
+}
+
+// EvaluateReplicated computes the period, worst-path latency and energy of
+// a replicated mapping.
+func EvaluateReplicated(inst *Instance, rm *ReplicatedMapping, model CommModel) Metrics {
+	return Metrics{
+		Period:  repl.Period(inst, rm, model),
+		Latency: repl.Latency(inst, rm),
+		Energy:  repl.Energy(inst, rm),
+	}
+}
+
+// SimulateReplicated executes a replicated mapping with round-robin
+// dispatch and in-order delivery.
+func SimulateReplicated(inst *Instance, rm *ReplicatedMapping, model CommModel, opt SimOptions) ([]SimResult, error) {
+	return sim.SimulateReplicated(inst, rm, model, opt)
+}
+
+// VerifyReplicatedMapping checks the replicated simulator against the
+// analytic replicated formulas within tol.
+func VerifyReplicatedMapping(inst *Instance, rm *ReplicatedMapping, model CommModel, tol float64) error {
+	return sim.VerifyReplicated(inst, rm, model, tol)
+}
+
+// ReplicatedMinEnergy minimizes the total energy of a replicated interval
+// mapping under per-application period bounds on a fully homogeneous
+// multi-modal platform (replicated Theorem 18 DP + Theorem 21 combiner).
+// With a steep energy exponent, several slow replicas can meet a
+// throughput target more cheaply than one fast processor.
+func ReplicatedMinEnergy(inst *Instance, model CommModel, periodBounds []float64) (ReplicatedMapping, float64, error) {
+	return repl.MinEnergyGivenPeriodFullyHom(inst, model, periodBounds)
+}
+
+// General mappings (the Section 3.3 excluded class; package general). Only
+// communication-free instances are supported — with transfers, even
+// scheduling a fixed general mapping is a hard combinatorial problem,
+// which is precisely why the paper restricts itself to interval mappings.
+type GeneralMapping = general.Mapping
+
+// GeneralMinPeriod exhaustively minimizes the period over general mappings
+// (processor sharing allowed) on a communication-free instance. Exponential
+// with branch-and-bound pruning; limit caps the explored leaves.
+func GeneralMinPeriod(inst *Instance, limit int64) (GeneralMapping, float64, error) {
+	return general.ExactMinPeriod(inst, limit)
+}
+
+// GeneralLPT is the longest-processing-time heuristic for general mappings
+// on communication-free instances; within Graham's 4/3 - 1/(3p) factor of
+// the optimum on identical processors.
+func GeneralLPT(inst *Instance) (GeneralMapping, float64, error) {
+	return general.LPT(inst)
+}
+
+// ReplicatedHeurMinPeriod heuristically minimizes the weighted global
+// period over replicated interval mappings on an arbitrary platform
+// (simulated annealing over the replicated neighbourhood, deterministic
+// per seed). On fully homogeneous platforms prefer ReplicatedMinPeriod,
+// which is exact and polynomial.
+func ReplicatedHeurMinPeriod(inst *Instance, model CommModel, seed int64, iters, restarts int) (ReplicatedMapping, float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return repl.HeurMinPeriod(rng, inst, model, repl.HeurOptions{Iters: iters, Restarts: restarts})
+}

@@ -1,0 +1,276 @@
+package repro
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fmath"
+)
+
+// TestPublicAPIQuickstart walks the README quick start end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	inst := MotivatingExample()
+	res, err := Solve(&inst, Request{
+		Rule:         Interval,
+		Model:        Overlap,
+		Objective:    Energy,
+		PeriodBounds: UniformBounds(&inst, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmath.EQ(res.Value, 46) {
+		t.Errorf("trade-off energy = %g, want 46", res.Value)
+	}
+	if err := ValidateMapping(&inst, &res.Mapping, Interval); err != nil {
+		t.Error(err)
+	}
+	if err := VerifyMapping(&inst, &res.Mapping, Overlap, 1e-9); err != nil {
+		t.Errorf("simulation disagrees with analytic metrics: %v", err)
+	}
+	mt := Evaluate(&inst, &res.Mapping, Overlap)
+	if !fmath.LE(mt.Period, 2) {
+		t.Errorf("period bound violated: %g", mt.Period)
+	}
+}
+
+func TestPublicAPIPareto(t *testing.T) {
+	inst := MotivatingExample()
+	front, err := ParetoPeriodEnergy(&inst, Interval, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if v := MinEnergyUnderPeriod(front, 2); !fmath.EQ(v, 46) {
+		t.Errorf("server problem at period 2: energy %g, want 46", v)
+	}
+	// At the minimum energy 10 the best period is 6, not the 14 of the
+	// paper's illustrative mapping: swapping the applications (App1 on P3,
+	// App2 on P1, both slowest modes) also costs 10 but halves the
+	// bottleneck. The paper only exhibits one energy-10 mapping, it does
+	// not claim period-optimality at that budget.
+	if v := MinPeriodUnderEnergy(front, 10); !fmath.EQ(v, 6) {
+		t.Errorf("laptop problem at budget 10: period %g, want 6", v)
+	}
+}
+
+func TestPublicAPIParetoPolynomialPaths(t *testing.T) {
+	// Fully homogeneous interval frontier.
+	rng := rand.New(rand.NewSource(5))
+	inst, err := RandomInstance(rng, WorkloadConfig{
+		Apps: 2, MinStages: 2, MaxStages: 4, Procs: 6, Modes: 2,
+		Class: FullyHomogeneous, MaxWork: 6, MaxData: 3, MaxSpeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := ParetoPeriodEnergy(&inst, Interval, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Period <= front[i-1].Period || front[i].Energy >= front[i-1].Energy {
+			t.Error("frontier not strictly monotone")
+		}
+	}
+}
+
+func TestPublicAPISimulate(t *testing.T) {
+	inst := StreamingCenter(8)
+	res, err := Solve(&inst, Request{Rule: Interval, Objective: Period,
+		ExactLimit: 50_000, HeurIters: 800, HeurRestarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims, err := Simulate(&inst, &res.Mapping, Overlap, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) != 3 {
+		t.Fatalf("expected 3 per-application results, got %d", len(sims))
+	}
+	for a, s := range sims {
+		if !fmath.EQ(s.SteadyPeriod, res.Metrics.AppPeriods[a]) {
+			t.Errorf("app %d: simulated period %g, analytic %g", a, s.SteadyPeriod, res.Metrics.AppPeriods[a])
+		}
+	}
+}
+
+func TestPublicAPIJSONRoundTrip(t *testing.T) {
+	inst := MotivatingExample()
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, &inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalStages() != 7 {
+		t.Error("round trip lost stages")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	inst := MotivatingExample()
+	if _, err := Solve(&inst, Request{Rule: Interval, Objective: Energy}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("want ErrUnsupported, got %v", err)
+	}
+	if _, err := Solve(&inst, Request{Rule: Interval, Objective: Energy,
+		PeriodBounds: UniformBounds(&inst, 0.01)}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPublicAPIStretch(t *testing.T) {
+	inst := MotivatingExample()
+	stretched, err := StretchWeights(&inst, Request{Rule: Interval, Objective: Latency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(&stretched, Request{Rule: Interval, Objective: Latency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmath.EQ(res.Value, 8.0/7.0) {
+		t.Errorf("max stretch = %g, want 8/7", res.Value)
+	}
+}
+
+func TestPublicAPIPlatformConstructors(t *testing.T) {
+	hom := NewHomogeneousPlatform(3, []float64{1, 2}, 1, 1)
+	if hom.Classify() != FullyHomogeneous {
+		t.Error("homogeneous constructor broken")
+	}
+	ch := NewCommHomogeneousPlatform([][]float64{{1}, {2}}, 1, 1)
+	if ch.Classify() != CommHomogeneous {
+		t.Error("comm-homogeneous constructor broken")
+	}
+	het := NewHeterogeneousPlatform(
+		[][]float64{{1}, {2}},
+		[][]float64{{0, 3}, {3, 0}},
+		[][]float64{{1, 2}},
+		[][]float64{{2, 1}},
+	)
+	if het.Classify() != FullyHeterogeneous {
+		t.Error("heterogeneous constructor broken")
+	}
+}
+
+func TestPublicAPIReplication(t *testing.T) {
+	inst := Instance{
+		Apps: []Application{{
+			Stages: []Stage{{Work: 2, Out: 1}, {Work: 18, Out: 1}, {Work: 2, Out: 1}},
+			In:     1, Weight: 1,
+		}},
+		Platform: NewHomogeneousPlatform(6, []float64{2}, 4, 1),
+		Energy:   DefaultEnergy,
+	}
+	plain, err := Solve(&inst, Request{Rule: Interval, Objective: Period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, period, err := ReplicatedMinPeriod(&inst, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmath.LT(period, plain.Value) {
+		t.Errorf("replication did not improve the period: %g vs %g", period, plain.Value)
+	}
+	if err := VerifyReplicatedMapping(&inst, &rm, Overlap, 1e-9); err != nil {
+		t.Error(err)
+	}
+	mt := EvaluateReplicated(&inst, &rm, Overlap)
+	if !fmath.EQ(mt.Period, period) {
+		t.Errorf("EvaluateReplicated period %g, reported %g", mt.Period, period)
+	}
+	// Lifting a plain mapping keeps its metrics.
+	lift := LiftMapping(&plain.Mapping)
+	lmt := EvaluateReplicated(&inst, &lift, Overlap)
+	if !fmath.EQ(lmt.Period, plain.Metrics.Period) || !fmath.EQ(lmt.Energy, plain.Metrics.Energy) {
+		t.Error("lifted mapping metrics changed")
+	}
+	sims, err := SimulateReplicated(&inst, &rm, Overlap, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmath.EQ(sims[0].SteadyPeriod, period) {
+		t.Errorf("simulated %g, analytic %g", sims[0].SteadyPeriod, period)
+	}
+}
+
+func TestPublicAPIReplicatedEnergy(t *testing.T) {
+	inst := Instance{
+		Apps: []Application{{
+			Stages: []Stage{{Work: 8}},
+			Weight: 1,
+		}},
+		Platform: NewHomogeneousPlatform(4, []float64{1, 2, 4}, 1, 1),
+		Energy:   EnergyModel{Alpha: 3},
+	}
+	rm, e, err := ReplicatedMinEnergy(&inst, Overlap, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmath.EQ(e, 4) {
+		t.Errorf("replicated energy = %g, want 4 (four speed-1 replicas)", e)
+	}
+	if err := VerifyReplicatedMapping(&inst, &rm, Overlap, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicAPIGeneralMappings(t *testing.T) {
+	inst := Instance{
+		Apps: []Application{{
+			Stages: []Stage{{Work: 1}, {Work: 5}, {Work: 1}},
+			Weight: 1,
+		}},
+		Platform: NewHomogeneousPlatform(2, []float64{1}, 1, 1),
+		Energy:   DefaultEnergy,
+	}
+	gm, opt, err := GeneralMinPeriod(&inst, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmath.EQ(opt, 5) {
+		t.Errorf("general optimum = %g, want 5 (beats the interval optimum 6)", opt)
+	}
+	if err := gm.Validate(&inst); err != nil {
+		t.Error(err)
+	}
+	_, lpt, err := GeneralLPT(&inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmath.LT(lpt, opt) {
+		t.Errorf("LPT %g beats the optimum %g", lpt, opt)
+	}
+	// Communicating instances are rejected.
+	fig1 := MotivatingExample()
+	if _, _, err := GeneralMinPeriod(&fig1, 1000); err == nil {
+		t.Error("communicating instance accepted by general solver")
+	}
+}
+
+func TestPublicAPIReplicatedHeuristic(t *testing.T) {
+	inst := StreamingCenter(8)
+	rm, v, err := ReplicatedHeurMinPeriod(&inst, Overlap, 3, 1500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReplicatedMapping(&inst, &rm, Overlap, 1e-9); err != nil {
+		t.Error(err)
+	}
+	// Replication can use idle processors that plain mappings leave out,
+	// so the heuristic should never be worse than the plain heuristic by
+	// much; sanity-check against the evaluated mapping only.
+	mt := EvaluateReplicated(&inst, &rm, Overlap)
+	if !fmath.EQ(mt.Period, v) {
+		t.Errorf("reported %g, evaluated %g", v, mt.Period)
+	}
+}

@@ -1,0 +1,396 @@
+package repro
+
+// One benchmark per reproduced artifact (see DESIGN.md's per-experiment
+// index). The polynomial cells are benchmarked across sizes so their
+// polynomial wall-clock growth is visible next to the exponential growth of
+// the exhaustive solver on the NP-hard cells; `go test -bench=. -benchmem`
+// regenerates every number recorded in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo/exact"
+	"repro/internal/algo/heur"
+	"repro/internal/algo/interval"
+	"repro/internal/algo/matching"
+	"repro/internal/algo/onetoone"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/npc"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BenchmarkFig1MotivatingExample regenerates all four Section 2 numbers by
+// exhaustive search (experiment FIG1).
+func BenchmarkFig1MotivatingExample(b *testing.B) {
+	inst := pipeline.MotivatingExample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := exact.MinPeriod(&inst, mapping.Interval, pipeline.Overlap)
+		if err != nil || !eq(p.Value, 1) {
+			b.Fatalf("period %v %v", p.Value, err)
+		}
+		l, err := exact.MinLatency(&inst, mapping.Interval)
+		if err != nil || !eq(l.Value, 2.75) {
+			b.Fatalf("latency %v %v", l.Value, err)
+		}
+		e, err := exact.MinEnergy(&inst, mapping.Interval)
+		if err != nil || !eq(e.Value, 10) {
+			b.Fatalf("energy %v %v", e.Value, err)
+		}
+		t, err := exact.MinEnergyGivenPeriod(&inst, mapping.Interval, pipeline.Overlap, []float64{2, 2})
+		if err != nil || !eq(t.Value, 46) {
+			b.Fatalf("trade-off %v %v", t.Value, err)
+		}
+	}
+}
+
+func eq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// BenchmarkTable1PeriodOneToOne is Theorem 1 (polynomial cell TAB1-P-O2O):
+// binary search plus greedy assignment on communication homogeneous
+// platforms, across sizes.
+func BenchmarkTable1PeriodOneToOne(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			inst := workload.MustInstance(rng, workload.Config{
+				Apps: 2, MinStages: n / 2, MaxStages: n / 2, Procs: n + 2, Modes: 2,
+				Class: pipeline.CommHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := onetoone.MinPeriodCommHom(&inst, pipeline.Overlap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1PeriodOneToOneHet is the NP-complete cell TAB1-P-O2O-HET
+// (Theorem 2): exhaustive search on fully heterogeneous platforms, with
+// visibly exponential growth in N.
+func BenchmarkTable1PeriodOneToOneHet(b *testing.B) {
+	for _, n := range []int{4, 5, 6} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			cfg := workload.Config{
+				Apps: 1, MinStages: n, MaxStages: n, Procs: n, Modes: 1,
+				Class: pipeline.FullyHeterogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8, MaxBandwidth: 4,
+			}
+			inst := workload.MustInstance(rng, cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.MinPeriod(&inst, mapping.OneToOne, pipeline.Overlap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1PeriodInterval is Theorem 3 (polynomial cell TAB1-P-INT):
+// the chain DP plus Algorithm 2 on fully homogeneous platforms.
+func BenchmarkTable1PeriodInterval(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			inst := workload.MustInstance(rng, workload.Config{
+				Apps: 2, MinStages: n / 2, MaxStages: n / 2, Procs: 16, Modes: 2,
+				Class: pipeline.FullyHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := interval.MinPeriodFullyHom(&inst, pipeline.Overlap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1PeriodIntervalSpecial is the NP-complete special-app cell
+// TAB1-P-INT-SPEC (Theorem 5): a 3-partition gadget solved exactly (small
+// m) and heuristically.
+func BenchmarkTable1PeriodIntervalSpecial(b *testing.B) {
+	tp := npc.ThreePartition{B: 10, Items: []int{3, 3, 4, 2, 4, 4}}
+	inst := npc.EncodePeriodInterval(tp)
+	b.Run("exact/m=2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := exact.MinPeriod(&inst, mapping.Interval, pipeline.Overlap)
+			if err != nil || !eq(sol.Value, 1) {
+				b.Fatalf("period %v %v", sol.Value, err)
+			}
+		}
+	})
+	b.Run("heuristic/m=2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(1))
+			if _, _, err := heur.MinPeriod(rng, &inst, mapping.Interval, pipeline.Overlap,
+				heur.Options{Iters: 1500, Restarts: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable1LatencyOneToOne covers both halves of the TAB1-L-O2O row:
+// the trivial fully homogeneous cell (Theorem 8) and the NP-complete
+// special-app cell via the Theorem 9 gadget.
+func BenchmarkTable1LatencyOneToOne(b *testing.B) {
+	b.Run("fullyhom/Thm8", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(9))
+		cfg := workload.Config{Apps: 2, MinStages: 4, MaxStages: 4, Procs: 10, Modes: 2,
+			Class: pipeline.FullyHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8}
+		inst := workload.MustInstance(rng, cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := onetoone.MinLatencyFullyHom(&inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gadget/Thm9", func(b *testing.B) {
+		tp := npc.ThreePartition{B: 10, Items: []int{3, 3, 4, 2, 4, 4}}
+		inst := npc.EncodeLatencyOneToOne(tp)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sol, err := exact.MinLatency(&inst, mapping.OneToOne)
+			if err != nil || !eq(sol.Value, 10) {
+				b.Fatalf("latency %v %v", sol.Value, err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable1LatencyInterval is Theorem 12 (polynomial cell
+// TAB1-L-INT): whole-application greedy on communication homogeneous
+// platforms.
+func BenchmarkTable1LatencyInterval(b *testing.B) {
+	for _, a := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("A=%d", a), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(a)))
+			inst := workload.MustInstance(rng, workload.Config{
+				Apps: a, MinStages: 3, MaxStages: 6, Procs: a + 4, Modes: 3,
+				Class: pipeline.CommHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := interval.MinLatencyCommHom(&inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2PeriodLatency is the Theorem 15-16 bi-criteria DP
+// (polynomial cell TAB2-PL): latency under a period bound on fully
+// homogeneous platforms.
+func BenchmarkTable2PeriodLatency(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			inst := workload.MustInstance(rng, workload.Config{
+				Apps: 2, MinStages: n / 2, MaxStages: n / 2, Procs: 12, Modes: 1,
+				Class: pipeline.FullyHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8,
+			})
+			m, t, err := interval.MinPeriodFullyHom(&inst, pipeline.Overlap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = m
+			bounds := core.UniformBounds(&inst, t*1.3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := interval.MinLatencyGivenPeriodFullyHom(&inst, pipeline.Overlap, bounds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2PeriodEnergyOneToOne is the Theorem 19 matching
+// (polynomial cell TAB2-PE-O2O).
+func BenchmarkTable2PeriodEnergyOneToOne(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			inst := workload.MustInstance(rng, workload.Config{
+				Apps: 2, MinStages: n / 2, MaxStages: n / 2, Procs: n + 2, Modes: 3,
+				Class: pipeline.CommHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8,
+			})
+			_, t, err := onetoone.MinPeriodCommHom(&inst, pipeline.Overlap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bounds := core.UniformBounds(&inst, t*1.5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := matching.MinEnergyGivenPeriodCommHom(&inst, pipeline.Overlap, bounds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2PeriodEnergyInterval is the Theorem 18+21 energy DP
+// (polynomial cell TAB2-PE-INT).
+func BenchmarkTable2PeriodEnergyInterval(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			inst := workload.MustInstance(rng, workload.Config{
+				Apps: 2, MinStages: n / 2, MaxStages: n / 2, Procs: 12, Modes: 3,
+				Class: pipeline.FullyHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8,
+			})
+			_, t, err := interval.MinPeriodFullyHom(&inst, pipeline.Overlap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bounds := core.UniformBounds(&inst, t*1.5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := interval.MinEnergyGivenPeriodFullyHom(&inst, pipeline.Overlap, bounds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2TriCriteriaUniModal is the polynomial tri-criteria cell
+// TAB2-PLE-UNI (Theorems 23-24).
+func BenchmarkTable2TriCriteriaUniModal(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	inst := workload.MustInstance(rng, workload.Config{
+		Apps: 3, MinStages: 8, MaxStages: 8, Procs: 12, Modes: 1,
+		Class: pipeline.FullyHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 4,
+	})
+	_, t, err := interval.MinPeriodFullyHom(&inst, pipeline.Overlap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	per := core.UniformBounds(&inst, t*1.4)
+	lat := core.UniformBounds(&inst, 1e9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := interval.MinEnergyGivenPeriodLatencyUniModal(&inst, pipeline.Overlap, per, lat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2TriCriteriaMultiModal is the NP-hard multi-modal cell
+// TAB2-PLE-MULTI (Theorem 26): the 2-partition gadget solved exactly, and
+// the announced-future-work heuristic on the same instance.
+func BenchmarkTable2TriCriteriaMultiModal(b *testing.B) {
+	tp := npc.TwoPartition{Items: []int{1, 2, 3}}
+	g := npc.EncodeTriCriteriaOneToOne(tp, 8, 0.01)
+	b.Run("exact/gadget-n=3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.MinEnergyGivenPeriodLatency(&g.Instance, g.Rule, pipeline.Overlap,
+				[]float64{g.PeriodBound}, []float64{g.LatencyBound}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("heuristic/gadget-n=3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(1))
+			_, _, err := heur.MinEnergyGivenPeriodLatency(rng, &g.Instance, g.Rule, pipeline.Overlap,
+				[]float64{g.PeriodBound}, []float64{g.LatencyBound}, heur.Options{Iters: 1200, Restarts: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimulatorValidation measures the discrete-event substrate
+// (experiment SIM): pushing data sets through a mapped instance under both
+// communication models.
+func BenchmarkSimulatorValidation(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	inst := workload.StreamingCenter(10)
+	m, err := workload.RandomMapping(rng, &inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, model := range []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap} {
+		b.Run(model.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Simulate(&inst, &m, model, sim.Options{Datasets: 1000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParetoFront builds period/energy frontiers (experiment PARETO):
+// exhaustively on the Fig. 1 instance and polynomially on a fully
+// homogeneous platform.
+func BenchmarkParetoFront(b *testing.B) {
+	b.Run("exact/fig1", func(b *testing.B) {
+		inst := pipeline.MotivatingExample()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.ParetoFront(&inst, mapping.Interval, pipeline.Overlap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dp/fullyhom-N=24", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		inst := workload.MustInstance(rng, workload.Config{
+			Apps: 2, MinStages: 12, MaxStages: 12, Procs: 10, Modes: 3,
+			Class: pipeline.FullyHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8,
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			front, err := ParetoPeriodEnergy(&inst, Interval, Overlap)
+			if err != nil || len(front) == 0 {
+				b.Fatalf("front %d %v", len(front), err)
+			}
+		}
+	})
+}
+
+// BenchmarkCoreSolveDispatch measures the full dispatcher on the streaming
+// preset (exact fallback capped, heuristic path).
+func BenchmarkCoreSolveDispatch(b *testing.B) {
+	inst := StreamingCenter(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := Solve(&inst, Request{Rule: Interval, Objective: Period,
+			ExactLimit: 10_000, HeurIters: 500, HeurRestarts: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPipebenchFig1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig1"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2.75") {
+		t.Errorf("fig1 output missing latency 2.75:\n%s", out.String())
+	}
+}
+
+func TestPipebenchPareto(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "pareto"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "laptop") {
+		t.Errorf("pareto output missing laptop problem:\n%s", out.String())
+	}
+}
+
+func TestPipebenchSim(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "sim", "-trials", "10", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+}
+
+func TestPipebenchUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}, new(bytes.Buffer)); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command pipegen generates random problem instances in the JSON schema
+// consumed by pipemap and pipesim, for reproducible experiment setups.
+//
+// Usage:
+//
+//	pipegen -apps 3 -stages 4:8 -procs 12 -modes 3 -class com-hom -seed 7 > problem.json
+//	pipegen -preset streaming -procs 10 > center.json
+//	pipegen -preset fig1 > fig1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pipegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pipegen", flag.ContinueOnError)
+	preset := fs.String("preset", "", "preset instance: fig1 | streaming (overrides random generation)")
+	apps := fs.Int("apps", 2, "number of applications")
+	stages := fs.String("stages", "2:5", "stage count range min:max")
+	procs := fs.Int("procs", 8, "number of processors")
+	modes := fs.Int("modes", 3, "DVFS modes per processor")
+	class := fs.String("class", "com-hom", "platform class: hom | com-hom | het")
+	maxWork := fs.Int("max-work", 10, "max stage work")
+	maxData := fs.Int("max-data", 5, "max data size (0 = no communication)")
+	maxSpeed := fs.Int("max-speed", 8, "max processor speed")
+	maxBW := fs.Int("max-bandwidth", 4, "max link bandwidth (het class)")
+	bandwidth := fs.Float64("bandwidth", 1, "uniform bandwidth (hom classes)")
+	static := fs.Float64("static", 0, "static energy per enrolled processor")
+	alpha := fs.Float64("alpha", 2, "dynamic energy exponent")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *preset {
+	case "fig1":
+		inst := pipeline.MotivatingExample()
+		return pipeline.EncodeJSON(stdout, &inst)
+	case "streaming":
+		inst := workload.StreamingCenter(*procs)
+		return pipeline.EncodeJSON(stdout, &inst)
+	case "":
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+
+	parts := strings.SplitN(*stages, ":", 2)
+	minStages, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad -stages %q: %v", *stages, err)
+	}
+	maxStages := minStages
+	if len(parts) == 2 {
+		if maxStages, err = strconv.Atoi(parts[1]); err != nil {
+			return fmt.Errorf("bad -stages %q: %v", *stages, err)
+		}
+	}
+	cfg := workload.Config{
+		Apps: *apps, MinStages: minStages, MaxStages: maxStages,
+		Procs: *procs, Modes: *modes,
+		MaxWork: *maxWork, MaxData: *maxData, MaxSpeed: *maxSpeed, MaxBandwidth: *maxBW,
+		Bandwidth: *bandwidth,
+		Energy:    pipeline.EnergyModel{Static: *static, Alpha: *alpha},
+	}
+	switch *class {
+	case "hom":
+		cfg.Class = pipeline.FullyHomogeneous
+	case "com-hom":
+		cfg.Class = pipeline.CommHomogeneous
+	case "het":
+		cfg.Class = pipeline.FullyHeterogeneous
+	default:
+		return fmt.Errorf("unknown class %q", *class)
+	}
+	inst, err := workload.Instance(rand.New(rand.NewSource(*seed)), cfg)
+	if err != nil {
+		return err
+	}
+	return pipeline.EncodeJSON(stdout, &inst)
+}

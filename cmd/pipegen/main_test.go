@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func gen(t *testing.T, args ...string) pipeline.Instance {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("args %v: %v", args, err)
+	}
+	inst, err := pipeline.DecodeJSON(&out)
+	if err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+	return inst
+}
+
+func TestPipegenRandom(t *testing.T) {
+	inst := gen(t, "-apps", "3", "-stages", "2:4", "-procs", "9", "-modes", "2", "-class", "het", "-seed", "5")
+	if len(inst.Apps) != 3 || inst.Platform.NumProcessors() != 9 {
+		t.Errorf("wrong shape: %d apps, %d procs", len(inst.Apps), inst.Platform.NumProcessors())
+	}
+	for _, app := range inst.Apps {
+		if n := app.NumStages(); n < 2 || n > 4 {
+			t.Errorf("stage count %d out of range", n)
+		}
+	}
+}
+
+func TestPipegenDeterministic(t *testing.T) {
+	a := gen(t, "-seed", "9")
+	b := gen(t, "-seed", "9")
+	if a.Apps[0].Stages[0].Work != b.Apps[0].Stages[0].Work {
+		t.Error("same seed produced different instances")
+	}
+}
+
+func TestPipegenPresets(t *testing.T) {
+	fig1 := gen(t, "-preset", "fig1")
+	if fig1.TotalStages() != 7 {
+		t.Errorf("fig1 preset has %d stages, want 7", fig1.TotalStages())
+	}
+	streaming := gen(t, "-preset", "streaming", "-procs", "6")
+	if len(streaming.Apps) != 3 || streaming.Platform.NumProcessors() != 6 {
+		t.Error("streaming preset shape wrong")
+	}
+}
+
+func TestPipegenNoComm(t *testing.T) {
+	inst := gen(t, "-max-data", "0", "-class", "hom")
+	for _, app := range inst.Apps {
+		if app.In != 0 {
+			t.Error("input data generated despite -max-data 0")
+		}
+		for _, st := range app.Stages {
+			if st.Out != 0 {
+				t.Error("communication generated despite -max-data 0")
+			}
+		}
+	}
+}
+
+func TestPipegenErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-class", "bogus"},
+		{"-preset", "bogus"},
+		{"-stages", "x:y"},
+		{"-stages", "5:2"},
+		{"-apps", "0"},
+	} {
+		if err := run(args, new(bytes.Buffer)); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func writeFig1(t *testing.T) string {
+	t.Helper()
+	inst := pipeline.MotivatingExample()
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pipeline.EncodeJSON(f, &inst); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPipemapTradeOff(t *testing.T) {
+	path := writeFig1(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-objective", "energy", "-period-bound", "2"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "value      : 46") {
+		t.Errorf("expected energy 46 in output:\n%s", s)
+	}
+	if !strings.Contains(s, "period     : 2") {
+		t.Errorf("expected period 2 in output:\n%s", s)
+	}
+}
+
+func TestPipemapPeriodFromStdin(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	var in bytes.Buffer
+	if err := pipeline.EncodeJSON(&in, &inst); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-objective", "period"}, &in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "value      : 1") {
+		t.Errorf("expected period 1:\n%s", out.String())
+	}
+}
+
+func TestPipemapJSONOutput(t *testing.T) {
+	path := writeFig1(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-objective", "latency", "-json"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"intervals"`) {
+		t.Errorf("expected JSON mapping:\n%s", out.String())
+	}
+}
+
+func TestPipemapBadFlags(t *testing.T) {
+	path := writeFig1(t)
+	for _, args := range [][]string{
+		{"-in", path, "-rule", "bogus"},
+		{"-in", path, "-model", "bogus"},
+		{"-in", path, "-objective", "bogus"},
+		{"-in", "/does/not/exist.json"},
+		{"-in", path, "-objective", "energy"}, // energy without period bound
+	} {
+		if err := run(args, nil, new(bytes.Buffer)); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+func writeFixtures(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	inst := pipeline.MotivatingExample()
+	instPath := filepath.Join(dir, "fig1.json")
+	f, err := os.Create(instPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.EncodeJSON(f, &inst); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The Section 2 period-optimal mapping.
+	m := mapping.Mapping{Apps: []mapping.AppMapping{
+		{Intervals: []mapping.PlacedInterval{{From: 0, To: 2, Proc: 2, Mode: 1}}},
+		{Intervals: []mapping.PlacedInterval{{From: 0, To: 1, Proc: 1, Mode: 1}, {From: 2, To: 3, Proc: 0, Mode: 1}}},
+	}}
+	mapPath := filepath.Join(dir, "map.json")
+	g, err := os.Create(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mapping.EncodeJSON(g, &m); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	return instPath, mapPath
+}
+
+func TestPipesimMeasuresPeriodOne(t *testing.T) {
+	instPath, mapPath := writeFixtures(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", instPath, "-mapping", mapPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "overlap") || !strings.Contains(s, "no-overlap") {
+		t.Errorf("expected both models in output:\n%s", s)
+	}
+	// Both applications reach steady period 1 under overlap.
+	if !strings.Contains(s, "App1  1") && !strings.Contains(s, "App1") {
+		t.Errorf("missing application rows:\n%s", s)
+	}
+}
+
+func TestPipesimMappingRoundTrip(t *testing.T) {
+	_, mapPath := writeFixtures(t)
+	f, err := os.Open(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := mapping.DecodeJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Apps) != 2 || len(m.Apps[1].Intervals) != 2 {
+		t.Errorf("round trip lost intervals: %+v", m)
+	}
+}
+
+func TestPipesimErrors(t *testing.T) {
+	instPath, mapPath := writeFixtures(t)
+	cases := [][]string{
+		{},
+		{"-in", instPath},
+		{"-mapping", mapPath},
+		{"-in", "/nope.json", "-mapping", mapPath},
+		{"-in", instPath, "-mapping", "/nope.json"},
+	}
+	for _, args := range cases {
+		if err := run(args, new(bytes.Buffer)); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestPipesimTrace(t *testing.T) {
+	instPath, mapPath := writeFixtures(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", instPath, "-mapping", mapPath, "-trace", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "schedule of App1") || !strings.Contains(s, "compute") {
+		t.Errorf("trace output missing:\n%s", s)
+	}
+	if !strings.Contains(s, "audited") {
+		t.Errorf("schedule not audited:\n%s", s)
+	}
+}

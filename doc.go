@@ -1,0 +1,42 @@
+// Package repro is a Go reproduction of "Performance and energy
+// optimization of concurrent pipelined applications" (Anne Benoit, Paul
+// Renaud-Goud, Yves Robert; LIP RR-2009-27 / IPDPS 2010).
+//
+// The library maps several independent linear-chain (pipelined)
+// applications onto a platform of multi-modal (DVFS) processors, optimizing
+// combinations of three criteria: period (inverse throughput), latency
+// (response time) and energy (total power of enrolled processors). Two
+// mapping rules are supported — one-to-one (one stage per processor) and
+// interval (consecutive stages per processor) — on three platform classes:
+// fully homogeneous, communication homogeneous, and fully heterogeneous,
+// under both the overlap and no-overlap communication models.
+//
+// Solve is the main entry point. It implements the paper's complexity
+// tables as a dispatcher: every problem variant the paper proves polynomial
+// is solved by the corresponding exact polynomial algorithm (binary search
+// plus greedy assignment, chain dynamic programs with the Algorithm 2
+// processor allocation, minimum weight bipartite matching); every NP-hard
+// variant falls back to exhaustive search when the instance is small and to
+// a simulated-annealing heuristic otherwise, with the provenance reported
+// in the Result.
+//
+// A discrete-event simulator (Simulate, VerifyMapping) executes mappings
+// dataset-by-dataset and reproduces the analytic period and latency
+// formulas, and Pareto frontier builders answer the paper's laptop problem
+// ("best performance within an energy budget") and server problem ("least
+// energy for a performance target").
+//
+// # Quick start
+//
+//	inst := repro.MotivatingExample() // Section 2 of the paper
+//	res, err := repro.Solve(&inst, repro.Request{
+//		Rule:      repro.Interval,
+//		Model:     repro.Overlap,
+//		Objective: repro.Energy,
+//		PeriodBounds: repro.UniformBounds(&inst, 2),
+//	})
+//	// res.Value == 46, the paper's period/energy trade-off.
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// paper-versus-measured record of every reproduced artifact.
+package repro

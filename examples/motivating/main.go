@@ -1,0 +1,65 @@
+// Motivating: reproduces every number of the paper's Section 2 example
+// (Figure 1) — the period-optimal, latency-optimal and energy-minimal
+// mappings, and the period/energy trade-off — then prints the full Pareto
+// frontier the example hints at.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	inst := repro.MotivatingExample()
+
+	solve := func(req repro.Request) repro.Result {
+		res, err := repro.Solve(&inst, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	// Equation (1): the optimal period is 1.
+	period := solve(repro.Request{Rule: repro.Interval, Model: repro.Overlap, Objective: repro.Period})
+	fmt.Printf("optimal period          : %g   (paper: 1)\n", period.Value)
+	fmt.Printf("  its energy            : %g   (paper: 136 = 6^2+8^2+6^2)\n", period.Metrics.Energy)
+
+	// Equation (2): the optimal latency is 2.75.
+	latency := solve(repro.Request{Rule: repro.Interval, Model: repro.Overlap, Objective: repro.Latency})
+	fmt.Printf("optimal latency         : %g  (paper: 2.75)\n", latency.Value)
+
+	// Minimum energy to run both applications at all: 10.
+	energy := solve(repro.Request{Rule: repro.Interval, Model: repro.Overlap, Objective: repro.Energy,
+		PeriodBounds: repro.UniformBounds(&inst, math.Inf(1))})
+	fmt.Printf("minimum energy          : %g    (paper: 10 = 3^2+1^2)\n", energy.Value)
+
+	// The Section 2 compromise: energy 46 under period <= 2.
+	tradeoff := solve(repro.Request{Rule: repro.Interval, Model: repro.Overlap, Objective: repro.Energy,
+		PeriodBounds: repro.UniformBounds(&inst, 2)})
+	fmt.Printf("energy with period <= 2 : %g   (paper: 46 = 3^2+6^2+1^2)\n", tradeoff.Value)
+	fmt.Println()
+
+	fmt.Println("the mapping behind the trade-off:")
+	for a := range tradeoff.Mapping.Apps {
+		for _, iv := range tradeoff.Mapping.Apps[a].Intervals {
+			proc := inst.Platform.Processors[iv.Proc]
+			fmt.Printf("  %s stages %d-%d -> %s at speed %g\n",
+				inst.Apps[a].Name, iv.From+1, iv.To+1, proc.Name, proc.Speeds[iv.Mode])
+		}
+	}
+	fmt.Println()
+
+	// The whole period/energy frontier of the example.
+	front, err := repro.ParetoPeriodEnergy(&inst, repro.Interval, repro.Overlap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("period/energy Pareto frontier:")
+	for _, pt := range front {
+		fmt.Printf("  period %6.3f  energy %7.3f\n", pt.Period, pt.Energy)
+	}
+}

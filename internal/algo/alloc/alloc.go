@@ -1,0 +1,94 @@
+// Package alloc implements the paper's Algorithm 2: the greedy incremental
+// distribution of identical processors among concurrent applications that
+// underlies Theorems 3, 16 and 24 (and the replication extension). It is
+// optimal whenever each application's objective curve is non-increasing in
+// its processor count and the global objective is the maximum of the
+// per-application values.
+package alloc
+
+import "math"
+
+// Allocate distributes p identical processors among the applications, where
+// curves[a][q-1] is the (already weighted) objective value of application a
+// with at most q processors, non-increasing in q. Starting from one
+// processor each, it repeatedly grants one more processor to the
+// application with the maximum current value, stopping early when the
+// bottleneck application cannot improve. It returns the per-application
+// processor counts and the achieved max value.
+func Allocate(curves [][]float64, p int) ([]int, float64) {
+	a := len(curves)
+	counts := make([]int, a)
+	vals := make([]float64, a)
+	for i := range curves {
+		counts[i] = 1
+		vals[i] = curves[i][0]
+	}
+	for extra := p - a; extra > 0; extra-- {
+		amax := 0
+		for i := 1; i < a; i++ {
+			if vals[i] > vals[amax] {
+				amax = i
+			}
+		}
+		c := curves[amax]
+		// The bottleneck application cannot improve with more processors:
+		// the global objective is settled.
+		if counts[amax] >= len(c) || c[len(c)-1] >= vals[amax] {
+			break
+		}
+		counts[amax]++
+		vals[amax] = c[counts[amax]-1]
+	}
+	value := math.Inf(-1)
+	for i := range vals {
+		value = math.Max(value, vals[i])
+	}
+	return counts, value
+}
+
+// CombineAdditive is the Theorem 21 dynamic program: given per-application
+// cost curves (curves[a][q-1] = minimal cost of application a with at most
+// q processors, +Inf when infeasible), find the per-application processor
+// counts summing to at most p that minimize the *total* cost. It is the
+// additive-objective counterpart of Allocate.
+func CombineAdditive(curves [][]float64, p int) (counts []int, total float64, ok bool) {
+	nApps := len(curves)
+	f := make([][]float64, nApps+1)
+	choice := make([][]int, nApps+1)
+	for i := range f {
+		f[i] = make([]float64, p+1)
+		choice[i] = make([]int, p+1)
+		for j := range f[i] {
+			f[i][j] = math.Inf(1)
+			choice[i][j] = -1
+		}
+	}
+	for k := 0; k <= p; k++ {
+		f[0][k] = 0
+	}
+	for a := 1; a <= nApps; a++ {
+		curve := curves[a-1]
+		for k := a; k <= p; k++ {
+			for q := 1; q <= len(curve) && q <= k-(a-1); q++ {
+				if math.IsInf(curve[q-1], 1) || math.IsInf(f[a-1][k-q], 1) {
+					continue
+				}
+				if v := f[a-1][k-q] + curve[q-1]; v < f[a][k] {
+					f[a][k] = v
+					choice[a][k] = q
+				}
+			}
+		}
+	}
+	if math.IsInf(f[nApps][p], 1) {
+		return nil, math.Inf(1), false
+	}
+	counts = make([]int, nApps)
+	k := p
+	for a := nApps; a >= 1; a-- {
+		q := choice[a][k]
+		counts[a-1] = q
+		k -= q
+	}
+	return counts, f[nApps][p], true
+}

@@ -1,0 +1,113 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAllocateBasics(t *testing.T) {
+	// One application: gets everything it can use.
+	counts, v := Allocate([][]float64{{9, 4, 2}}, 3)
+	if counts[0] != 3 || v != 2 {
+		t.Errorf("single app: counts=%v v=%g", counts, v)
+	}
+	// Exact fit: one processor each.
+	counts, v = Allocate([][]float64{{5}, {7}}, 2)
+	if counts[0] != 1 || counts[1] != 1 || v != 7 {
+		t.Errorf("exact fit: counts=%v v=%g", counts, v)
+	}
+}
+
+func TestAllocateGreedyBottleneck(t *testing.T) {
+	curves := [][]float64{
+		{10, 5, 2, 1},
+		{4, 4, 4, 4},
+	}
+	counts, v := Allocate(curves, 4)
+	if counts[0] != 3 || counts[1] != 1 || v != 4 {
+		t.Errorf("counts=%v v=%g, want [3 1] 4", counts, v)
+	}
+}
+
+func TestAllocateEarlyStopOnFlatBottleneck(t *testing.T) {
+	curves := [][]float64{
+		{9, 9, 9}, // cannot improve
+		{1, 0.5, 0.1},
+	}
+	counts, v := Allocate(curves, 6)
+	if v != 9 {
+		t.Errorf("value = %g, want 9", v)
+	}
+	if counts[0]+counts[1] > 6 {
+		t.Errorf("over-allocated: %v", counts)
+	}
+}
+
+func TestAllocateInfiniteEntriesGrow(t *testing.T) {
+	// App 0 infeasible below 3 processors.
+	inf := math.Inf(1)
+	curves := [][]float64{
+		{inf, inf, 4, 3},
+		{5, 5, 5, 5},
+	}
+	counts, v := Allocate(curves, 5)
+	if counts[0] < 3 {
+		t.Errorf("infeasible prefix not grown past: %v", counts)
+	}
+	if v != 5 {
+		t.Errorf("value = %g, want 5", v)
+	}
+}
+
+// TestAllocateOptimalVsBruteForce: on random non-increasing curves the
+// greedy allocation matches exhaustive enumeration of processor splits,
+// the optimality claim of Algorithm 2.
+func TestAllocateOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 300; trial++ {
+		nApps := 1 + rng.Intn(3)
+		p := nApps + rng.Intn(5)
+		curves := make([][]float64, nApps)
+		for a := range curves {
+			length := p - nApps + 1
+			curves[a] = make([]float64, length)
+			v := float64(5 + rng.Intn(30))
+			for q := 0; q < length; q++ {
+				curves[a][q] = v
+				if rng.Intn(2) == 0 {
+					v -= float64(rng.Intn(5))
+					if v < 0 {
+						v = 0
+					}
+				}
+			}
+		}
+		_, got := Allocate(curves, p)
+		want := bruteAllocate(curves, p)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: greedy %g, brute force %g (curves %v, p=%d)", trial, got, want, curves, p)
+		}
+	}
+}
+
+// bruteAllocate enumerates every split of p processors.
+func bruteAllocate(curves [][]float64, p int) float64 {
+	best := math.Inf(1)
+	var rec func(a, left int, cur float64)
+	rec = func(a, left int, cur float64) {
+		if cur >= best {
+			return
+		}
+		if a == len(curves) {
+			best = cur
+			return
+		}
+		remainingApps := len(curves) - a - 1
+		for q := 1; q <= left-remainingApps && q <= len(curves[a]); q++ {
+			rec(a+1, left-q, math.Max(cur, curves[a][q-1]))
+		}
+	}
+	rec(0, p, math.Inf(-1))
+	return best
+}

@@ -1,0 +1,341 @@
+// Package exact provides exhaustive solvers over one-to-one and interval
+// mappings. They are exponential — exactly what the paper's NP-completeness
+// results predict for the hard problem variants — and double as the
+// optimality oracle against which every polynomial algorithm and heuristic
+// in this repository is tested.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// ErrSearchSpace is returned when enumeration exceeds the configured node
+// budget: the instance is too large for the exact solver.
+var ErrSearchSpace = errors.New("exact: search space exceeds the configured limit")
+
+// ErrInfeasible is returned when no mapping satisfies the given bounds.
+var ErrInfeasible = errors.New("exact: no mapping satisfies the bounds")
+
+// ModePolicy restricts which execution modes are enumerated.
+type ModePolicy int
+
+const (
+	// AllModes enumerates every DVFS mode (needed whenever energy is among
+	// the criteria).
+	AllModes ModePolicy = iota
+	// FastestOnly enumerates only each processor's highest speed: without
+	// an energy criterion, running faster can only improve period and
+	// latency (Section 2), so the restriction is lossless.
+	FastestOnly
+)
+
+// Options configures the enumeration.
+type Options struct {
+	// Rule selects one-to-one or interval mappings.
+	Rule mapping.Rule
+	// Modes selects the mode enumeration policy.
+	Modes ModePolicy
+	// Limit bounds the number of complete mappings visited; 0 means the
+	// default of 20 million.
+	Limit int64
+}
+
+func (o Options) limit() int64 {
+	if o.Limit <= 0 {
+		return 20_000_000
+	}
+	return o.Limit
+}
+
+// Enumerate visits every valid mapping of inst under the options. The
+// *mapping.Mapping passed to visit is reused across calls; visit must clone
+// it if it escapes. Returns ErrSearchSpace when the limit is hit.
+func Enumerate(inst *pipeline.Instance, opt Options, visit func(m *mapping.Mapping)) error {
+	e := &enumerator{
+		inst:  inst,
+		opt:   opt,
+		used:  make([]bool, inst.Platform.NumProcessors()),
+		m:     mapping.Mapping{Apps: make([]mapping.AppMapping, len(inst.Apps))},
+		visit: visit,
+		left:  opt.limit(),
+	}
+	if err := e.app(0); err != nil {
+		return err
+	}
+	return nil
+}
+
+type enumerator struct {
+	inst  *pipeline.Instance
+	opt   Options
+	used  []bool
+	m     mapping.Mapping
+	visit func(m *mapping.Mapping)
+	left  int64
+}
+
+// app enumerates the mapping of applications a..A-1 given the processors
+// already consumed by applications 0..a-1.
+func (e *enumerator) app(a int) error {
+	if a == len(e.inst.Apps) {
+		e.left--
+		if e.left < 0 {
+			return ErrSearchSpace
+		}
+		e.visit(&e.m)
+		return nil
+	}
+	return e.intervals(a, 0)
+}
+
+// intervals extends application a's partition from stage `from` onward.
+func (e *enumerator) intervals(a, from int) error {
+	app := &e.inst.Apps[a]
+	n := app.NumStages()
+	if from == n {
+		err := e.app(a + 1)
+		return err
+	}
+	// Remaining applications each need at least one processor.
+	remainingApps := 0
+	for b := a + 1; b < len(e.inst.Apps); b++ {
+		remainingApps++
+	}
+	free := 0
+	for _, u := range e.used {
+		if !u {
+			free++
+		}
+	}
+	if free <= remainingApps {
+		return nil // no processor available for this interval
+	}
+	hi := n - 1
+	if e.opt.Rule == mapping.OneToOne {
+		hi = from
+	}
+	for to := from; to <= hi; to++ {
+		for u := 0; u < len(e.used); u++ {
+			if e.used[u] {
+				continue
+			}
+			e.used[u] = true
+			modes := e.inst.Platform.Processors[u].NumModes()
+			lo := 0
+			if e.opt.Modes == FastestOnly {
+				lo = modes - 1
+			}
+			for mode := lo; mode < modes; mode++ {
+				e.m.Apps[a].Intervals = append(e.m.Apps[a].Intervals, mapping.PlacedInterval{
+					From: from, To: to, Proc: u, Mode: mode,
+				})
+				if err := e.intervals(a, to+1); err != nil {
+					return err
+				}
+				e.m.Apps[a].Intervals = e.m.Apps[a].Intervals[:len(e.m.Apps[a].Intervals)-1]
+			}
+			e.used[u] = false
+		}
+	}
+	return nil
+}
+
+// Solution is an optimal mapping found by an exact solver, with its value.
+type Solution struct {
+	Mapping mapping.Mapping
+	Value   float64
+}
+
+// minimize runs the enumeration keeping the mapping minimizing objective
+// among those satisfying feasible (nil means all).
+func minimize(inst *pipeline.Instance, opt Options, feasible func(m *mapping.Mapping) bool, objective func(m *mapping.Mapping) float64) (Solution, error) {
+	best := Solution{Value: math.Inf(1)}
+	found := false
+	err := Enumerate(inst, opt, func(m *mapping.Mapping) {
+		if feasible != nil && !feasible(m) {
+			return
+		}
+		v := objective(m)
+		if !found || v < best.Value {
+			best = Solution{Mapping: m.Clone(), Value: v}
+			found = true
+		}
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+	if !found {
+		return Solution{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// MinPeriod returns the mapping minimizing the weighted global period.
+func MinPeriod(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel) (Solution, error) {
+	return minimize(inst, Options{Rule: rule, Modes: FastestOnly}, nil, func(m *mapping.Mapping) float64 {
+		return mapping.Period(inst, m, model)
+	})
+}
+
+// MinLatency returns the mapping minimizing the weighted global latency.
+func MinLatency(inst *pipeline.Instance, rule mapping.Rule) (Solution, error) {
+	return minimize(inst, Options{Rule: rule, Modes: FastestOnly}, nil, func(m *mapping.Mapping) float64 {
+		return mapping.Latency(inst, m)
+	})
+}
+
+// MinLatencyGivenPeriod minimizes the weighted global latency subject to
+// per-application period bounds (unweighted T_a <= periodBounds[a]).
+func MinLatencyGivenPeriod(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, periodBounds []float64) (Solution, error) {
+	return minimize(inst, Options{Rule: rule, Modes: FastestOnly},
+		periodFeasible(inst, model, periodBounds),
+		func(m *mapping.Mapping) float64 { return mapping.Latency(inst, m) })
+}
+
+// MinPeriodGivenLatency minimizes the weighted global period subject to
+// per-application latency bounds.
+func MinPeriodGivenLatency(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, latencyBounds []float64) (Solution, error) {
+	return minimize(inst, Options{Rule: rule, Modes: FastestOnly},
+		latencyFeasible(inst, latencyBounds),
+		func(m *mapping.Mapping) float64 { return mapping.Period(inst, m, model) })
+}
+
+// MinEnergyGivenPeriod minimizes the total energy subject to per-application
+// period bounds. All modes are enumerated.
+func MinEnergyGivenPeriod(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, periodBounds []float64) (Solution, error) {
+	return minimize(inst, Options{Rule: rule, Modes: AllModes},
+		periodFeasible(inst, model, periodBounds),
+		func(m *mapping.Mapping) float64 { return mapping.Energy(inst, m) })
+}
+
+// MinEnergy minimizes the total energy with no performance constraint at
+// all (every application still has to be mapped). This is the "minimum
+// energy to run both applications" computation of Section 2.
+func MinEnergy(inst *pipeline.Instance, rule mapping.Rule) (Solution, error) {
+	return minimize(inst, Options{Rule: rule, Modes: AllModes}, nil,
+		func(m *mapping.Mapping) float64 { return mapping.Energy(inst, m) })
+}
+
+// MinEnergyGivenPeriodLatency is the exact tri-criteria solver: minimize
+// total energy subject to per-application period and latency bounds
+// (Theorems 26-27's NP-hard problem).
+func MinEnergyGivenPeriodLatency(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, periodBounds, latencyBounds []float64) (Solution, error) {
+	pf := periodFeasible(inst, model, periodBounds)
+	lf := latencyFeasible(inst, latencyBounds)
+	return minimize(inst, Options{Rule: rule, Modes: AllModes},
+		func(m *mapping.Mapping) bool { return pf(m) && lf(m) },
+		func(m *mapping.Mapping) float64 { return mapping.Energy(inst, m) })
+}
+
+// MinPeriodGivenLatencyEnergy minimizes the weighted global period subject
+// to per-application latency bounds and a global energy budget.
+func MinPeriodGivenLatencyEnergy(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, latencyBounds []float64, energyBudget float64) (Solution, error) {
+	lf := latencyFeasible(inst, latencyBounds)
+	return minimize(inst, Options{Rule: rule, Modes: AllModes},
+		func(m *mapping.Mapping) bool {
+			return lf(m) && fmath.LE(mapping.Energy(inst, m), energyBudget)
+		},
+		func(m *mapping.Mapping) float64 { return mapping.Period(inst, m, model) })
+}
+
+func periodFeasible(inst *pipeline.Instance, model pipeline.CommModel, bounds []float64) func(m *mapping.Mapping) bool {
+	return func(m *mapping.Mapping) bool {
+		for a := range m.Apps {
+			if !fmath.LE(mapping.AppPeriod(inst, m, a, model), bounds[a]) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func latencyFeasible(inst *pipeline.Instance, bounds []float64) func(m *mapping.Mapping) bool {
+	return func(m *mapping.Mapping) bool {
+		for a := range m.Apps {
+			if !fmath.LE(mapping.AppLatency(inst, m, a), bounds[a]) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Point is one (period, latency, energy) value vector with a witness
+// mapping.
+type Point struct {
+	Period, Latency, Energy float64
+	Mapping                 mapping.Mapping
+}
+
+// Dominates reports whether p is at least as good as q on all three
+// criteria and strictly better on at least one.
+func (p Point) Dominates(q Point) bool {
+	le := fmath.LE(p.Period, q.Period) && fmath.LE(p.Latency, q.Latency) && fmath.LE(p.Energy, q.Energy)
+	lt := fmath.LT(p.Period, q.Period) || fmath.LT(p.Latency, q.Latency) || fmath.LT(p.Energy, q.Energy)
+	return le && lt
+}
+
+// ParetoFront enumerates every mapping and returns the non-dominated
+// (period, latency, energy) points, sorted by period. This is the full
+// trade-off surface discussed in the introduction (laptop and server
+// problems).
+func ParetoFront(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel) ([]Point, error) {
+	var front []Point
+	err := Enumerate(inst, Options{Rule: rule, Modes: AllModes}, func(m *mapping.Mapping) {
+		mt := mapping.Evaluate(inst, m, model)
+		cand := Point{Period: mt.Period, Latency: mt.Latency, Energy: mt.Energy}
+		for _, q := range front {
+			if q.Dominates(cand) || (fmath.EQ(q.Period, cand.Period) && fmath.EQ(q.Latency, cand.Latency) && fmath.EQ(q.Energy, cand.Energy)) {
+				return
+			}
+		}
+		cand.Mapping = m.Clone()
+		keep := front[:0]
+		for _, q := range front {
+			if !cand.Dominates(q) {
+				keep = append(keep, q)
+			}
+		}
+		front = append(keep, cand)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortPoints(front)
+	return front, nil
+}
+
+func sortPoints(ps []Point) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && less(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func less(a, b Point) bool {
+	if a.Period != b.Period {
+		return a.Period < b.Period
+	}
+	if a.Latency != b.Latency {
+		return a.Latency < b.Latency
+	}
+	return a.Energy < b.Energy
+}
+
+// CountMappings returns the number of valid mappings of inst under the
+// options; used by the scaling experiments to report search-space growth.
+func CountMappings(inst *pipeline.Instance, opt Options) (int64, error) {
+	var n int64
+	err := Enumerate(inst, opt, func(m *mapping.Mapping) { n++ })
+	if err != nil {
+		return 0, fmt.Errorf("counting mappings: %w", err)
+	}
+	return n, nil
+}

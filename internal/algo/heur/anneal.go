@@ -1,0 +1,291 @@
+package heur
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// anneal improves m in place by simulated annealing over the interval
+// mapping neighbourhood, returning the final objective value. Infeasible
+// neighbours (objective +Inf) are always rejected; the best mapping ever
+// seen is restored at the end.
+func anneal(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping, obj Objective, opt Options) float64 {
+	cur := obj(m)
+	best := m.Clone()
+	bestV := cur
+	scale := math.Abs(cur)
+	if math.IsInf(scale, 1) || scale == 0 {
+		scale = 1
+	}
+	t0 := opt.StartTemp * scale
+	t1 := opt.EndTemp * scale
+	cool := math.Pow(t1/t0, 1/math.Max(1, float64(opt.Iters-1)))
+	temp := t0
+	for i := 0; i < opt.Iters; i++ {
+		cand := m.Clone()
+		if !mutate(rng, inst, &cand, opt.Rule) {
+			temp *= cool
+			continue
+		}
+		v := obj(&cand)
+		accept := false
+		switch {
+		case math.IsInf(v, 1):
+			accept = false
+		case v <= cur:
+			accept = true
+		case !math.IsInf(cur, 1):
+			accept = rng.Float64() < math.Exp((cur-v)/temp)
+		default:
+			accept = true // escape from an infeasible start
+		}
+		if accept {
+			*m = cand
+			cur = v
+			if v < bestV {
+				best = cand.Clone()
+				bestV = v
+			}
+		}
+		temp *= cool
+	}
+	if bestV < cur {
+		*m = best
+	}
+	return bestV
+}
+
+// mutate applies one random neighbourhood move in place. It reports false
+// when the drawn move was inapplicable (the caller just retries next
+// iteration). All moves preserve mapping validity.
+func mutate(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping, rule mapping.Rule) bool {
+	moves := []func(*rand.Rand, *pipeline.Instance, *mapping.Mapping) bool{
+		moveMode, moveRelocate, moveSwap,
+	}
+	if rule == mapping.Interval {
+		moves = append(moves, moveBoundary, moveSplit, moveMerge)
+	}
+	return moves[rng.Intn(len(moves))](rng, inst, m)
+}
+
+// pick returns a random (app, interval index) pair.
+func pick(rng *rand.Rand, m *mapping.Mapping) (int, int) {
+	total := m.NumIntervals()
+	i := rng.Intn(total)
+	for a := range m.Apps {
+		if i < len(m.Apps[a].Intervals) {
+			return a, i
+		}
+		i -= len(m.Apps[a].Intervals)
+	}
+	panic("unreachable")
+}
+
+// freeProcs lists processors not used by m.
+func freeProcs(inst *pipeline.Instance, m *mapping.Mapping) []int {
+	used := make([]bool, inst.Platform.NumProcessors())
+	for a := range m.Apps {
+		for _, iv := range m.Apps[a].Intervals {
+			used[iv.Proc] = true
+		}
+	}
+	var free []int
+	for u, b := range used {
+		if !b {
+			free = append(free, u)
+		}
+	}
+	return free
+}
+
+// moveMode steps one interval's mode up or down.
+func moveMode(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping) bool {
+	a, j := pick(rng, m)
+	iv := &m.Apps[a].Intervals[j]
+	modes := inst.Platform.Processors[iv.Proc].NumModes()
+	if modes == 1 {
+		return false
+	}
+	delta := 1
+	if rng.Intn(2) == 0 {
+		delta = -1
+	}
+	nm := iv.Mode + delta
+	if nm < 0 || nm >= modes {
+		nm = iv.Mode - delta
+	}
+	if nm < 0 || nm >= modes {
+		return false
+	}
+	iv.Mode = nm
+	return true
+}
+
+// moveRelocate moves one interval to a free processor at a random mode.
+func moveRelocate(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping) bool {
+	free := freeProcs(inst, m)
+	if len(free) == 0 {
+		return false
+	}
+	a, j := pick(rng, m)
+	iv := &m.Apps[a].Intervals[j]
+	u := free[rng.Intn(len(free))]
+	iv.Proc = u
+	iv.Mode = rng.Intn(inst.Platform.Processors[u].NumModes())
+	return true
+}
+
+// moveSwap exchanges the processors (and modes) of two intervals.
+func moveSwap(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping) bool {
+	if m.NumIntervals() < 2 {
+		return false
+	}
+	a1, j1 := pick(rng, m)
+	a2, j2 := pick(rng, m)
+	if a1 == a2 && j1 == j2 {
+		return false
+	}
+	iv1 := &m.Apps[a1].Intervals[j1]
+	iv2 := &m.Apps[a2].Intervals[j2]
+	iv1.Proc, iv2.Proc = iv2.Proc, iv1.Proc
+	iv1.Mode, iv2.Mode = iv2.Mode, iv1.Mode
+	// Clamp modes to the new processors' mode counts.
+	clampMode(inst, iv1)
+	clampMode(inst, iv2)
+	return true
+}
+
+func clampMode(inst *pipeline.Instance, iv *mapping.PlacedInterval) {
+	if max := inst.Platform.Processors[iv.Proc].NumModes() - 1; iv.Mode > max {
+		iv.Mode = max
+	}
+}
+
+// moveBoundary shifts the boundary between two adjacent intervals of one
+// application by one stage.
+func moveBoundary(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping) bool {
+	a, j := pick(rng, m)
+	ivs := m.Apps[a].Intervals
+	if len(ivs) < 2 {
+		return false
+	}
+	if j == len(ivs)-1 {
+		j--
+	}
+	left, right := &ivs[j], &ivs[j+1]
+	if rng.Intn(2) == 0 {
+		// Grow left.
+		if right.Len() <= 1 {
+			return false
+		}
+		left.To++
+		right.From++
+	} else {
+		if left.Len() <= 1 {
+			return false
+		}
+		left.To--
+		right.From--
+	}
+	return true
+}
+
+// moveSplit splits one interval of length >= 2 onto a free processor.
+func moveSplit(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping) bool {
+	free := freeProcs(inst, m)
+	if len(free) == 0 {
+		return false
+	}
+	a, j := pick(rng, m)
+	ivs := m.Apps[a].Intervals
+	iv := ivs[j]
+	if iv.Len() < 2 {
+		return false
+	}
+	cut := iv.From + rng.Intn(iv.Len()-1) // new boundary after stage `cut`
+	u := free[rng.Intn(len(free))]
+	right := mapping.PlacedInterval{From: cut + 1, To: iv.To, Proc: u, Mode: rng.Intn(inst.Platform.Processors[u].NumModes())}
+	ivs[j].To = cut
+	m.Apps[a].Intervals = append(ivs[:j+1], append([]mapping.PlacedInterval{right}, ivs[j+1:]...)...)
+	return true
+}
+
+// moveMerge merges two adjacent intervals of one application onto one of
+// their two processors, freeing the other.
+func moveMerge(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping) bool {
+	a, j := pick(rng, m)
+	ivs := m.Apps[a].Intervals
+	if len(ivs) < 2 {
+		return false
+	}
+	if j == len(ivs)-1 {
+		j--
+	}
+	keep := ivs[j]
+	if rng.Intn(2) == 1 {
+		keep = ivs[j+1]
+	}
+	keep.From = ivs[j].From
+	keep.To = ivs[j+1].To
+	m.Apps[a].Intervals = append(ivs[:j], append([]mapping.PlacedInterval{keep}, ivs[j+2:]...)...)
+	return true
+}
+
+// speedDown is the deterministic greedy polish: repeatedly apply the single
+// mode decrement with the best objective improvement until none helps.
+func speedDown(inst *pipeline.Instance, m *mapping.Mapping, obj Objective) {
+	for {
+		cur := obj(m)
+		bestA, bestJ := -1, -1
+		bestV := cur
+		for a := range m.Apps {
+			for j := range m.Apps[a].Intervals {
+				iv := &m.Apps[a].Intervals[j]
+				if iv.Mode == 0 {
+					continue
+				}
+				iv.Mode--
+				if v := obj(m); v < bestV {
+					bestV, bestA, bestJ = v, a, j
+				}
+				iv.Mode++
+			}
+		}
+		if bestA < 0 {
+			return
+		}
+		m.Apps[bestA].Intervals[bestJ].Mode--
+	}
+}
+
+// speedUpIfHelpful raises modes greedily while the objective improves; used
+// to make period/latency starts feasible before annealing on bounded
+// problems.
+func speedUpIfHelpful(inst *pipeline.Instance, m *mapping.Mapping, obj Objective) {
+	for {
+		cur := obj(m)
+		improvedA, improvedJ := -1, -1
+		bestV := cur
+		for a := range m.Apps {
+			for j := range m.Apps[a].Intervals {
+				iv := &m.Apps[a].Intervals[j]
+				if iv.Mode >= inst.Platform.Processors[iv.Proc].NumModes()-1 {
+					continue
+				}
+				iv.Mode++
+				v := obj(m)
+				iv.Mode--
+				if v < bestV || (math.IsInf(cur, 1) && !math.IsInf(v, 1)) {
+					bestV, improvedA, improvedJ = v, a, j
+				}
+			}
+		}
+		if improvedA < 0 {
+			return
+		}
+		m.Apps[improvedA].Intervals[improvedJ].Mode++
+	}
+}

@@ -1,0 +1,298 @@
+// Package heur provides practical heuristics for the problem variants the
+// paper proves NP-hard: period or latency minimization on (fully)
+// heterogeneous platforms, and the tri-criteria problem with multi-modal
+// processors. The paper's conclusion announces polynomial-time heuristics
+// for the tri-criteria problem as future work; this package implements
+// them: greedy constructive mappings, a mode "speed-down" pass, and a
+// simulated-annealing local search over the interval-mapping neighbourhood.
+//
+// All heuristics are deterministic given the caller's *rand.Rand seed, and
+// the test suite measures their optimality gap against the exact solvers.
+package heur
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// ErrNoMapping is returned when not even an initial feasible mapping could
+// be constructed (for example, more applications than processors).
+var ErrNoMapping = errors.New("heur: unable to construct an initial mapping")
+
+// Objective scores a mapping; lower is better. Infeasible mappings must
+// return +Inf.
+type Objective func(m *mapping.Mapping) float64
+
+// Options tunes the local search.
+type Options struct {
+	// Iters is the number of annealing steps per restart (default 4000).
+	Iters int
+	// Restarts is the number of independent searches (default 3).
+	Restarts int
+	// StartTemp and EndTemp bound the geometric cooling schedule,
+	// relative to the initial objective value (defaults 0.2 and 1e-4).
+	StartTemp, EndTemp float64
+	// Rule restricts the neighbourhood: under mapping.OneToOne, only
+	// moves preserving unit intervals are used.
+	Rule mapping.Rule
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iters <= 0 {
+		o.Iters = 4000
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	if o.StartTemp <= 0 {
+		o.StartTemp = 0.2
+	}
+	if o.EndTemp <= 0 {
+		o.EndTemp = 1e-4
+	}
+	return o
+}
+
+// Minimize runs the full heuristic pipeline (greedy construction, simulated
+// annealing, speed-down polish) on an arbitrary objective. Infeasible
+// mappings must score +Inf; the returned value is the best score reached,
+// possibly +Inf when no feasible mapping was found.
+func Minimize(rng *rand.Rand, inst *pipeline.Instance, rule mapping.Rule, obj Objective, opt Options) (mapping.Mapping, float64, error) {
+	opt.Rule = rule
+	return search(rng, inst, rule, obj, opt)
+}
+
+// MinPeriod heuristically minimizes the weighted global period on an
+// arbitrary platform under either mapping rule.
+func MinPeriod(rng *rand.Rand, inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, opt Options) (mapping.Mapping, float64, error) {
+	opt.Rule = rule
+	obj := func(m *mapping.Mapping) float64 { return mapping.Period(inst, m, model) }
+	return search(rng, inst, rule, obj, opt)
+}
+
+// MinLatency heuristically minimizes the weighted global latency.
+func MinLatency(rng *rand.Rand, inst *pipeline.Instance, rule mapping.Rule, opt Options) (mapping.Mapping, float64, error) {
+	opt.Rule = rule
+	obj := func(m *mapping.Mapping) float64 { return mapping.Latency(inst, m) }
+	return search(rng, inst, rule, obj, opt)
+}
+
+// MinEnergyGivenPeriodLatency heuristically solves the NP-hard tri-criteria
+// problem (Theorems 26-27): minimize energy subject to per-application
+// period and latency bounds. It combines the local search with a greedy
+// speed-down pass that repeatedly takes the single mode reduction (or
+// interval merge) with the best energy saving that keeps all bounds.
+func MinEnergyGivenPeriodLatency(rng *rand.Rand, inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, periodBounds, latencyBounds []float64, opt Options) (mapping.Mapping, float64, error) {
+	opt.Rule = rule
+	feasible := func(m *mapping.Mapping) bool {
+		for a := range m.Apps {
+			if !fmath.LE(mapping.AppPeriod(inst, m, a, model), periodBounds[a]) {
+				return false
+			}
+			if !fmath.LE(mapping.AppLatency(inst, m, a), latencyBounds[a]) {
+				return false
+			}
+		}
+		return true
+	}
+	obj := func(m *mapping.Mapping) float64 {
+		if !feasible(m) {
+			return math.Inf(1)
+		}
+		return mapping.Energy(inst, m)
+	}
+	best, bestV, err := search(rng, inst, rule, obj, opt)
+	if err != nil {
+		return mapping.Mapping{}, 0, err
+	}
+	if math.IsInf(bestV, 1) {
+		return mapping.Mapping{}, 0, fmt.Errorf("heur: no feasible mapping found within the search budget")
+	}
+	// Final deterministic polish.
+	speedDown(inst, &best, obj)
+	return best, obj(&best), nil
+}
+
+// search runs restarts of (greedy init + speed-down + annealing).
+func search(rng *rand.Rand, inst *pipeline.Instance, rule mapping.Rule, obj Objective, opt Options) (mapping.Mapping, float64, error) {
+	opt = opt.withDefaults()
+	var best mapping.Mapping
+	bestV := math.Inf(1)
+	haveBest := false
+	for r := 0; r < opt.Restarts; r++ {
+		m, err := initial(rng, inst, rule, r)
+		if err != nil {
+			return mapping.Mapping{}, 0, err
+		}
+		speedUpIfHelpful(inst, &m, obj)
+		v := anneal(rng, inst, &m, obj, opt)
+		speedDown(inst, &m, obj)
+		v = obj(&m)
+		if !haveBest || v < bestV {
+			best, bestV, haveBest = m.Clone(), v, true
+		}
+	}
+	if !haveBest {
+		return mapping.Mapping{}, 0, ErrNoMapping
+	}
+	return best, bestV, nil
+}
+
+// initial builds a starting mapping. Round 0 is a deterministic greedy
+// construction; later rounds randomize.
+func initial(rng *rand.Rand, inst *pipeline.Instance, rule mapping.Rule, round int) (mapping.Mapping, error) {
+	p := inst.Platform.NumProcessors()
+	if rule == mapping.OneToOne {
+		n := inst.TotalStages()
+		if p < n {
+			return mapping.Mapping{}, fmt.Errorf("%w: one-to-one needs p >= N (%d < %d)", ErrNoMapping, p, n)
+		}
+		// Heaviest stages on fastest processors (LPT-flavoured), or a
+		// random permutation on later rounds.
+		type ref struct {
+			app, k int
+			work   float64
+		}
+		var stages []ref
+		for a := range inst.Apps {
+			w := inst.Apps[a].EffectiveWeight()
+			for k := range inst.Apps[a].Stages {
+				stages = append(stages, ref{a, k, w * inst.Apps[a].Stages[k].Work})
+			}
+		}
+		procs := procsBySpeed(inst)
+		if round == 0 {
+			sort.SliceStable(stages, func(i, j int) bool { return stages[i].work > stages[j].work })
+		} else {
+			rng.Shuffle(len(stages), func(i, j int) { stages[i], stages[j] = stages[j], stages[i] })
+		}
+		m := mapping.Mapping{Apps: make([]mapping.AppMapping, len(inst.Apps))}
+		for i, r := range stages {
+			u := procs[i]
+			m.Apps[r.app].Intervals = append(m.Apps[r.app].Intervals, mapping.PlacedInterval{
+				From: r.k, To: r.k, Proc: u, Mode: inst.Platform.Processors[u].NumModes() - 1,
+			})
+		}
+		for a := range m.Apps {
+			sort.Slice(m.Apps[a].Intervals, func(i, j int) bool {
+				return m.Apps[a].Intervals[i].From < m.Apps[a].Intervals[j].From
+			})
+		}
+		if err := m.Validate(inst, rule); err != nil {
+			return mapping.Mapping{}, err
+		}
+		return m, nil
+	}
+	// Interval rule: distribute processors proportionally to weighted
+	// total work, then split each application into equal-work chunks on
+	// its fastest processors.
+	if p < len(inst.Apps) {
+		return mapping.Mapping{}, fmt.Errorf("%w: %d processors for %d applications", ErrNoMapping, p, len(inst.Apps))
+	}
+	counts := proportionalCounts(inst, p, rng, round)
+	procs := procsBySpeed(inst)
+	next := 0
+	m := mapping.Mapping{Apps: make([]mapping.AppMapping, len(inst.Apps))}
+	for a := range inst.Apps {
+		n := inst.Apps[a].NumStages()
+		k := counts[a]
+		if k > n {
+			k = n
+		}
+		myProcs := procs[next : next+k]
+		next += k
+		// Equal-work split into k intervals.
+		pre := inst.Apps[a].WorkPrefix()
+		total := pre[n]
+		from := 0
+		for j := 0; j < k; j++ {
+			to := from
+			if j == k-1 {
+				to = n - 1
+			} else {
+				target := total * float64(j+1) / float64(k)
+				for to < n-1 && pre[to+1] < target {
+					to++
+				}
+				// Leave at least one stage per remaining interval.
+				if to > n-1-(k-1-j) {
+					to = n - 1 - (k - 1 - j)
+				}
+				if to < from {
+					to = from
+				}
+			}
+			u := myProcs[j]
+			m.Apps[a].Intervals = append(m.Apps[a].Intervals, mapping.PlacedInterval{
+				From: from, To: to, Proc: u, Mode: inst.Platform.Processors[u].NumModes() - 1,
+			})
+			from = to + 1
+		}
+	}
+	if err := m.Validate(inst, mapping.Interval); err != nil {
+		return mapping.Mapping{}, err
+	}
+	return m, nil
+}
+
+// procsBySpeed returns processor indices sorted by max speed descending.
+func procsBySpeed(inst *pipeline.Instance) []int {
+	p := inst.Platform.NumProcessors()
+	procs := make([]int, p)
+	for i := range procs {
+		procs[i] = i
+	}
+	sort.SliceStable(procs, func(i, j int) bool {
+		return inst.Platform.Processors[procs[i]].MaxSpeed() > inst.Platform.Processors[procs[j]].MaxSpeed()
+	})
+	return procs
+}
+
+// proportionalCounts splits p processors among applications proportionally
+// to weighted total work (randomized on later rounds), at least one each
+// and at most the stage count.
+func proportionalCounts(inst *pipeline.Instance, p int, rng *rand.Rand, round int) []int {
+	nApps := len(inst.Apps)
+	counts := make([]int, nApps)
+	works := make([]float64, nApps)
+	var total float64
+	for a := range inst.Apps {
+		works[a] = inst.Apps[a].EffectiveWeight() * inst.Apps[a].TotalWork()
+		total += works[a]
+	}
+	left := p
+	for a := range counts {
+		counts[a] = 1
+		left--
+	}
+	for left > 0 {
+		// Grant to the application with the highest work per processor.
+		best, bestScore := -1, -1.0
+		for a := range counts {
+			if counts[a] >= inst.Apps[a].NumStages() {
+				continue
+			}
+			score := works[a] / float64(counts[a])
+			if round > 0 {
+				score *= 0.5 + rng.Float64()
+			}
+			if score > bestScore {
+				best, bestScore = a, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		counts[best]++
+		left--
+	}
+	_ = total
+	return counts
+}

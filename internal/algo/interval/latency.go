@@ -1,0 +1,112 @@
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// MinLatencyCommHom implements Theorem 12: on communication homogeneous
+// platforms the optimal interval mapping for latency maps every application
+// entirely onto a single processor (splitting can only add communication
+// and cannot speed up computation beyond the fastest processor), so the
+// problem reduces to assigning whole applications to the A fastest
+// processors. The weighted objective max_a W_a*L_a is minimized by a binary
+// search over the candidate latency set combined with the Theorem 1 greedy
+// assignment. Processors run at their fastest mode.
+func MinLatencyCommHom(inst *pipeline.Instance) (mapping.Mapping, float64, error) {
+	cls := inst.Platform.Classify()
+	if cls == pipeline.FullyHeterogeneous {
+		return mapping.Mapping{}, 0, fmt.Errorf("%w: want communication homogeneous, have %v", ErrWrongPlatform, cls)
+	}
+	nApps := len(inst.Apps)
+	p := inst.Platform.NumProcessors()
+	if p < nApps {
+		return mapping.Mapping{}, 0, fmt.Errorf("%w: %d processors cannot host %d applications", ErrWrongPlatform, p, nApps)
+	}
+	b, _ := inst.Platform.HomogeneousLinks()
+
+	// Keep the A fastest processors: exchanging any enrolled processor for
+	// an unused faster one can only decrease the latency.
+	procIdx := make([]int, p)
+	for i := range procIdx {
+		procIdx[i] = i
+	}
+	sort.Slice(procIdx, func(i, j int) bool {
+		return inst.Platform.Processors[procIdx[i]].MaxSpeed() < inst.Platform.Processors[procIdx[j]].MaxSpeed()
+	})
+	fastest := procIdx[p-nApps:] // ascending speed
+
+	// wholeLatency(a, u) = W_a * (delta0/b + sum w / s_u + delta_n/b).
+	wholeLatency := func(a, u int) float64 {
+		app := &inst.Apps[a]
+		s := inst.Platform.Processors[u].MaxSpeed()
+		l := app.TotalWork() / s
+		if app.In > 0 {
+			l += app.In / b
+		}
+		if out := app.Stages[app.NumStages()-1].Out; out > 0 {
+			l += out / b
+		}
+		return app.EffectiveWeight() * l
+	}
+
+	// Candidate latency set: one value per (application, processor) pair.
+	var cands []float64
+	for a := 0; a < nApps; a++ {
+		for _, u := range fastest {
+			cands = append(cands, wholeLatency(a, u))
+		}
+	}
+	cands = fmath.SortedUnique(cands)
+
+	// greedy assigns, scanning processors from slowest to fastest, any
+	// free application whose whole-application latency fits within L.
+	greedy := func(limit float64) ([]int, bool) {
+		assignment := make([]int, nApps) // app -> processor
+		taken := make([]bool, nApps)
+		for _, u := range fastest {
+			found := -1
+			for a := 0; a < nApps; a++ {
+				if !taken[a] && fmath.LE(wholeLatency(a, u), limit) {
+					found = a
+					break
+				}
+			}
+			if found < 0 {
+				return nil, false
+			}
+			taken[found] = true
+			assignment[found] = u
+		}
+		return assignment, true
+	}
+
+	lo, hi := 0, len(cands)-1
+	var bestAsg []int
+	bestL := math.Inf(1)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if asg, ok := greedy(cands[mid]); ok {
+			bestAsg, bestL = asg, cands[mid]
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestAsg == nil {
+		return mapping.Mapping{}, 0, ErrInfeasible
+	}
+	m := mapping.Mapping{Apps: make([]mapping.AppMapping, nApps)}
+	for a, u := range bestAsg {
+		m.Apps[a] = mapping.WholeApp(inst, a, u, inst.Platform.Processors[u].NumModes()-1)
+	}
+	if err := m.Validate(inst, mapping.Interval); err != nil {
+		return mapping.Mapping{}, 0, err
+	}
+	return m, bestL, nil
+}

@@ -1,0 +1,327 @@
+// Package interval implements the paper's polynomial algorithms for
+// interval mappings: the single-application chain-partition dynamic
+// programs on fully homogeneous platforms (Theorems 3, 15, 18), the
+// incremental processor-allocation Algorithm 2 and its multi-application
+// wrappers (Theorems 3, 16, 21, 23-24), and the whole-application greedy
+// for latency on communication homogeneous platforms (Theorem 12).
+package interval
+
+import (
+	"math"
+
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// Choice is one interval of a single-application partition, together with
+// the selected execution mode (for the energy-aware programs; mode is the
+// index into the common speed set).
+type Choice struct {
+	From, To int
+	Mode     int
+}
+
+// SingleDP solves the single-application partition problems on identical
+// processors with uniform bandwidth. It precomputes prefix sums of works so
+// that interval costs are O(1).
+type SingleDP struct {
+	app    *pipeline.Application
+	speeds []float64 // common mode set, ascending
+	b      float64
+	model  pipeline.CommModel
+	pre    []float64
+	n      int
+}
+
+// NewSingleDP prepares the dynamic programs for one application on
+// processors with the given common (ascending) speed set and uniform
+// bandwidth b.
+func NewSingleDP(app *pipeline.Application, speeds []float64, b float64, model pipeline.CommModel) *SingleDP {
+	return &SingleDP{
+		app:    app,
+		speeds: speeds,
+		b:      b,
+		model:  model,
+		pre:    app.WorkPrefix(),
+		n:      app.NumStages(),
+	}
+}
+
+// cost returns the cycle time of the interval of stages [f, t] (0-based,
+// inclusive) executed at speed s: in/comp/out combined per the
+// communication model (Equations 3-4).
+func (d *SingleDP) cost(f, t int, s float64) float64 {
+	in := d.comm(d.app.InputSize(f))
+	out := d.comm(d.app.OutputSize(t))
+	comp := (d.pre[t+1] - d.pre[f]) / s
+	return mapping.IntervalCost(d.model, in, comp, out)
+}
+
+func (d *SingleDP) comm(vol float64) float64 {
+	if vol == 0 {
+		return 0
+	}
+	return vol / d.b
+}
+
+// fastest returns the highest common speed.
+func (d *SingleDP) fastest() float64 { return d.speeds[len(d.speeds)-1] }
+
+// MinPeriod returns, for every processor count q in 1..maxProcs, the
+// minimal period achievable with at most q processors (at the fastest
+// speed, since energy is not a criterion), plus the optimal partitions.
+// Curve[q-1] is non-increasing in q as required by Algorithm 2.
+func (d *SingleDP) MinPeriod(maxProcs int) (curve []float64, parts [][]Choice) {
+	q := min(maxProcs, d.n)
+	s := d.fastest()
+	// best[i][k]: minimal period mapping stages 0..i-1 onto exactly k
+	// processors; cut[i][k]: start of the last interval.
+	best := newMatrix(d.n+1, q+1, math.Inf(1))
+	cut := newIntMatrix(d.n+1, q+1, -1)
+	for i := 1; i <= d.n; i++ {
+		best[i][1] = d.cost(0, i-1, s)
+		cut[i][1] = 0
+	}
+	for k := 2; k <= q; k++ {
+		for i := k; i <= d.n; i++ {
+			for j := k - 1; j < i; j++ {
+				v := math.Max(best[j][k-1], d.cost(j, i-1, s))
+				if v < best[i][k] {
+					best[i][k] = v
+					cut[i][k] = j
+				}
+			}
+		}
+	}
+	curve = make([]float64, maxProcs)
+	parts = make([][]Choice, maxProcs)
+	bestSoFar := math.Inf(1)
+	bestK := 0
+	for k := 1; k <= maxProcs; k++ {
+		if k <= q && best[d.n][k] < bestSoFar {
+			bestSoFar = best[d.n][k]
+			bestK = k
+		}
+		curve[k-1] = bestSoFar
+		parts[k-1] = d.backtrack(cut, bestK, len(d.speeds)-1)
+	}
+	return curve, parts
+}
+
+// backtrack reconstructs the partition of all n stages into exactly k
+// intervals from the cut table, using the given mode for every interval.
+func (d *SingleDP) backtrack(cut [][]int, k, mode int) []Choice {
+	out := make([]Choice, k)
+	i := d.n
+	for kk := k; kk >= 1; kk-- {
+		j := cut[i][kk]
+		out[kk-1] = Choice{From: j, To: i - 1, Mode: mode}
+		i = j
+	}
+	return out
+}
+
+// MinLatencyGivenPeriod implements the Theorem 15 dynamic program: the
+// minimal latency over interval mappings using at most maxProcs processors
+// whose period does not exceed periodBound, at the fastest speed. The
+// boolean reports feasibility.
+func (d *SingleDP) MinLatencyGivenPeriod(maxProcs int, periodBound float64) (float64, []Choice, bool) {
+	q := min(maxProcs, d.n)
+	s := d.fastest()
+	// lat[i][k]: minimal latency for stages 0..i-1 on exactly k processors
+	// with every cycle time <= periodBound. The latency of a prefix is the
+	// input communication plus each interval's computation and outgoing
+	// communication; the outgoing communication of the prefix's last
+	// interval is delta_i/b regardless of where the next interval goes
+	// (uniform bandwidth), so prefix latencies compose.
+	lat := newMatrix(d.n+1, q+1, math.Inf(1))
+	cut := newIntMatrix(d.n+1, q+1, -1)
+	for i := 1; i <= d.n; i++ {
+		if fmath.LE(d.cost(0, i-1, s), periodBound) {
+			lat[i][1] = d.comm(d.app.In) + (d.pre[i]-d.pre[0])/s + d.comm(d.app.OutputSize(i-1))
+			cut[i][1] = 0
+		}
+	}
+	for k := 2; k <= q; k++ {
+		for i := k; i <= d.n; i++ {
+			for j := k - 1; j < i; j++ {
+				if math.IsInf(lat[j][k-1], 1) || !fmath.LE(d.cost(j, i-1, s), periodBound) {
+					continue
+				}
+				v := lat[j][k-1] + (d.pre[i]-d.pre[j])/s + d.comm(d.app.OutputSize(i-1))
+				if v < lat[i][k] {
+					lat[i][k] = v
+					cut[i][k] = j
+				}
+			}
+		}
+	}
+	bestL := math.Inf(1)
+	bestK := 0
+	for k := 1; k <= q; k++ {
+		if lat[d.n][k] < bestL {
+			bestL = lat[d.n][k]
+			bestK = k
+		}
+	}
+	if bestK == 0 {
+		return math.Inf(1), nil, false
+	}
+	return bestL, d.backtrack(cut, bestK, len(d.speeds)-1), true
+}
+
+// PeriodCandidates returns the sorted set of values the optimal period can
+// take at the fastest speed: every interval cycle time (Theorem 15's
+// binary-search set, extended to both communication models).
+func (d *SingleDP) PeriodCandidates() []float64 {
+	s := d.fastest()
+	var cands []float64
+	for f := 0; f < d.n; f++ {
+		for t := f; t < d.n; t++ {
+			cands = append(cands, d.cost(f, t, s))
+		}
+	}
+	return fmath.SortedUnique(cands)
+}
+
+// MinPeriodGivenLatency binary-searches the period candidates for the
+// smallest period whose Theorem 15 latency does not exceed latencyBound.
+func (d *SingleDP) MinPeriodGivenLatency(maxProcs int, latencyBound float64) (float64, []Choice, bool) {
+	cands := d.PeriodCandidates()
+	lo, hi := 0, len(cands)-1
+	var bestPart []Choice
+	bestT := math.Inf(1)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		_, part, ok := d.latencyFeasible(maxProcs, cands[mid], latencyBound)
+		if ok {
+			bestT = cands[mid]
+			bestPart = part
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestPart == nil {
+		return math.Inf(1), nil, false
+	}
+	return bestT, bestPart, true
+}
+
+func (d *SingleDP) latencyFeasible(maxProcs int, periodBound, latencyBound float64) (float64, []Choice, bool) {
+	l, part, ok := d.MinLatencyGivenPeriod(maxProcs, periodBound)
+	if !ok || !fmath.LE(l, latencyBound) {
+		return l, nil, false
+	}
+	return l, part, true
+}
+
+// MinEnergyGivenPeriod implements the Theorem 18 dynamic program: the
+// minimal energy (sum of Static + speed^Alpha over enrolled processors)
+// over interval mappings with at most maxProcs processors whose period does
+// not exceed periodBound, choosing for each interval the cheapest mode that
+// meets the bound.
+func (d *SingleDP) MinEnergyGivenPeriod(maxProcs int, periodBound float64, em pipeline.EnergyModel) (float64, []Choice, bool) {
+	q := min(maxProcs, d.n)
+	// cheap[f][t]: cheapest feasible mode for interval [f,t], or -1.
+	// Speeds are ascending and cost is non-increasing in speed, so the
+	// cheapest feasible mode is the smallest feasible one.
+	cheap := newIntMatrix(d.n, d.n, -1)
+	for f := 0; f < d.n; f++ {
+		for t := f; t < d.n; t++ {
+			for mode, s := range d.speeds {
+				if fmath.LE(d.cost(f, t, s), periodBound) {
+					cheap[f][t] = mode
+					break
+				}
+			}
+		}
+	}
+	eng := newMatrix(d.n+1, q+1, math.Inf(1))
+	cut := newIntMatrix(d.n+1, q+1, -1)
+	for i := 1; i <= d.n; i++ {
+		if m := cheap[0][i-1]; m >= 0 {
+			eng[i][1] = em.Power(d.speeds[m])
+			cut[i][1] = 0
+		}
+	}
+	for k := 2; k <= q; k++ {
+		for i := k; i <= d.n; i++ {
+			for j := k - 1; j < i; j++ {
+				m := cheap[j][i-1]
+				if m < 0 || math.IsInf(eng[j][k-1], 1) {
+					continue
+				}
+				v := eng[j][k-1] + em.Power(d.speeds[m])
+				if v < eng[i][k] {
+					eng[i][k] = v
+					cut[i][k] = j
+				}
+			}
+		}
+	}
+	bestE := math.Inf(1)
+	bestK := 0
+	for k := 1; k <= q; k++ {
+		if eng[d.n][k] < bestE {
+			bestE = eng[d.n][k]
+			bestK = k
+		}
+	}
+	if bestK == 0 {
+		return math.Inf(1), nil, false
+	}
+	part := d.backtrack(cut, bestK, 0)
+	for i := range part {
+		part[i].Mode = cheap[part[i].From][part[i].To]
+	}
+	return bestE, part, true
+}
+
+// EnergyCurve returns, for q in 1..maxProcs, the minimal energy with at
+// most q processors under the period bound (Theorem 21's E_a^k values,
+// non-increasing in q; +Inf marks infeasible counts), plus the partitions.
+func (d *SingleDP) EnergyCurve(maxProcs int, periodBound float64, em pipeline.EnergyModel) ([]float64, [][]Choice) {
+	curve := make([]float64, maxProcs)
+	parts := make([][]Choice, maxProcs)
+	for q := 1; q <= maxProcs; q++ {
+		e, part, ok := d.MinEnergyGivenPeriod(q, periodBound, em)
+		if !ok {
+			curve[q-1] = math.Inf(1)
+			continue
+		}
+		curve[q-1] = e
+		parts[q-1] = part
+	}
+	return curve, parts
+}
+
+func newMatrix(rows, cols int, fill float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = fill
+		}
+	}
+	return m
+}
+
+func newIntMatrix(rows, cols int, fill int) [][]int {
+	m := make([][]int, rows)
+	for i := range m {
+		m[i] = make([]int, cols)
+		for j := range m[i] {
+			m[i][j] = fill
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

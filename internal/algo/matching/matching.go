@@ -1,0 +1,187 @@
+// Package matching implements minimum-weight bipartite assignment via the
+// Jonker-Volgenant shortest-augmenting-path variant of the Hungarian
+// algorithm, and uses it for Theorem 19: on communication homogeneous
+// platforms, the one-to-one mapping minimizing energy under per-application
+// period bounds is a minimum weight matching between stages and processors,
+// where the weight of (stage, processor) is the energy of the slowest mode
+// that meets the stage's period bound.
+package matching
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// ErrInfeasible is returned when no assignment satisfies the bounds.
+var ErrInfeasible = errors.New("matching: no feasible assignment")
+
+// ErrWrongPlatform is returned when platform preconditions fail.
+var ErrWrongPlatform = errors.New("matching: platform does not satisfy the algorithm's preconditions")
+
+// forbidden is the weight of an inadmissible edge. It is large enough to
+// never be chosen over any sum of admissible weights, yet small enough that
+// sums of a few forbidden edges do not overflow.
+const forbidden = 1e18
+
+// Assign solves the rectangular assignment problem: cost is an n x m matrix
+// with n <= m; the result assigns every row i a distinct column asg[i]
+// minimizing the total cost. Entries set to +Inf (or >= forbidden) mark
+// inadmissible pairs; ok reports whether a fully admissible assignment
+// exists.
+func Assign(cost [][]float64) (asg []int, total float64, ok bool) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, true
+	}
+	m := len(cost[0])
+	if n > m {
+		return nil, 0, false
+	}
+	at := func(i, j int) float64 {
+		c := cost[i][j]
+		if math.IsInf(c, 1) || c >= forbidden {
+			return forbidden
+		}
+		return c
+	}
+	// 1-based Jonker-Volgenant shortest augmenting paths.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	rowOf := make([]int, m+1) // rowOf[j]: row matched to column j, 0 if free
+	way := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		rowOf[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := rowOf[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := at(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[rowOf[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if rowOf[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			rowOf[j0] = rowOf[j1]
+			j0 = j1
+		}
+	}
+	asg = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if rowOf[j] > 0 {
+			asg[rowOf[j]-1] = j - 1
+		}
+	}
+	total = 0
+	for i := range asg {
+		c := at(i, asg[i])
+		if c >= forbidden/2 {
+			return nil, 0, false
+		}
+		total += c
+	}
+	return asg, total, true
+}
+
+// MinEnergyGivenPeriodCommHom implements Theorem 19: the one-to-one mapping
+// of minimal total energy subject to per-application period bounds
+// (unweighted T_a <= periodBounds[a]) on a communication homogeneous
+// platform. The edge weight between a stage and a processor is the energy
+// of the slowest mode meeting the bound (speeds ascending, cycle time
+// non-increasing in speed, power increasing), and a minimum weight
+// stage-processor matching is optimal because stage cycle times are
+// independent of where other stages go when all links are identical.
+func MinEnergyGivenPeriodCommHom(inst *pipeline.Instance, model pipeline.CommModel, periodBounds []float64) (mapping.Mapping, float64, error) {
+	if cls := inst.Platform.Classify(); cls == pipeline.FullyHeterogeneous {
+		return mapping.Mapping{}, 0, fmt.Errorf("%w: want communication homogeneous, have %v", ErrWrongPlatform, cls)
+	}
+	type ref struct{ app, k int }
+	var stages []ref
+	for a := range inst.Apps {
+		for k := 0; k < inst.Apps[a].NumStages(); k++ {
+			stages = append(stages, ref{a, k})
+		}
+	}
+	p := inst.Platform.NumProcessors()
+	if p < len(stages) {
+		return mapping.Mapping{}, 0, fmt.Errorf("%w: one-to-one needs p >= N (%d < %d)", ErrWrongPlatform, p, len(stages))
+	}
+	b, _ := inst.Platform.HomogeneousLinks()
+
+	cost := make([][]float64, len(stages))
+	modeChoice := make([][]int, len(stages))
+	for i, r := range stages {
+		cost[i] = make([]float64, p)
+		modeChoice[i] = make([]int, p)
+		app := &inst.Apps[r.app]
+		in, out := commCost(app.InputSize(r.k), b), commCost(app.OutputSize(r.k), b)
+		for u := 0; u < p; u++ {
+			cost[i][u] = math.Inf(1)
+			modeChoice[i][u] = -1
+			for mode, s := range inst.Platform.Processors[u].Speeds {
+				cyc := mapping.IntervalCost(model, in, app.Stages[r.k].Work/s, out)
+				if fmath.LE(cyc, periodBounds[r.app]) {
+					cost[i][u] = inst.Energy.Power(s)
+					modeChoice[i][u] = mode
+					break
+				}
+			}
+		}
+	}
+	asg, total, ok := Assign(cost)
+	if !ok {
+		return mapping.Mapping{}, 0, ErrInfeasible
+	}
+	m := mapping.Mapping{Apps: make([]mapping.AppMapping, len(inst.Apps))}
+	for i, r := range stages {
+		u := asg[i]
+		m.Apps[r.app].Intervals = append(m.Apps[r.app].Intervals, mapping.PlacedInterval{
+			From: r.k, To: r.k, Proc: u, Mode: modeChoice[i][u],
+		})
+	}
+	if err := m.Validate(inst, mapping.OneToOne); err != nil {
+		return mapping.Mapping{}, 0, err
+	}
+	return m, total, nil
+}
+
+func commCost(vol, b float64) float64 {
+	if vol == 0 {
+		return 0
+	}
+	return vol / b
+}

@@ -1,0 +1,260 @@
+// Package experiments regenerates every reproducible artifact of the paper
+// (see DESIGN.md's per-experiment index): the Section 2 / Figure 1
+// motivating example, the Table 1 and Table 2 complexity maps (optimality
+// of every polynomial algorithm against the exhaustive oracle plus the
+// polynomial/exponential scaling split), the Equations 3-5 simulator
+// validation, the period/energy Pareto frontiers, and the NP-hardness
+// gadget equivalences.
+//
+// Each experiment writes human-readable tables to the supplied writer and
+// returns a non-nil error if any paper claim failed to reproduce, so the
+// test suite can assert full reproduction.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/algo/exact"
+	"repro/internal/core"
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig1 reproduces the four headline numbers of the Section 2 motivating
+// example (experiment FIG1).
+func Fig1(w io.Writer) error {
+	inst := pipeline.MotivatingExample()
+	tb := report.New("FIG1 - Section 2 motivating example (2 apps, 3 processors x 2 modes)",
+		"quantity", "paper", "measured", "method", "match")
+
+	var firstErr error
+	type row struct {
+		name  string
+		paper float64
+		req   core.Request
+	}
+	rows := []row{
+		{"optimal period (Eq. 1)", 1, core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Period}},
+		{"optimal latency (Eq. 2)", 2.75, core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Latency}},
+		{"min energy (period free)", 10, core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Energy,
+			PeriodBounds: core.UniformBounds(&inst, math.Inf(1))}},
+		{"min energy with period <= 2", 46, core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Energy,
+			PeriodBounds: core.UniformBounds(&inst, 2)}},
+	}
+	for _, r := range rows {
+		res, err := core.Solve(&inst, r.req)
+		if err != nil {
+			return fmt.Errorf("experiments: fig1 %q: %w", r.name, err)
+		}
+		ok := fmath.EQ(res.Value, r.paper)
+		tb.Addf(r.name, r.paper, res.Value, string(res.Method), okMark(ok))
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: fig1 %q: measured %g, paper %g", r.name, res.Value, r.paper)
+		}
+	}
+	// The period-optimal mapping at full speed consumes 136 (Section 2).
+	res, err := core.Solve(&inst, core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Period})
+	if err != nil {
+		return err
+	}
+	ok := fmath.EQ(res.Metrics.Energy, 136)
+	tb.Addf("energy of the period-optimal mapping", 136.0, res.Metrics.Energy, string(res.Method), okMark(ok))
+	if !ok && firstErr == nil {
+		firstErr = fmt.Errorf("experiments: fig1 period-optimal energy %g, paper 136", res.Metrics.Energy)
+	}
+	tb.Render(w)
+	fmt.Fprintln(w)
+	return firstErr
+}
+
+func okMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+// cellResult summarizes one complexity-table cell's validation.
+type cellResult struct {
+	problem  string
+	platform string
+	paper    string
+	method   string
+	optimal  string
+	note     string
+}
+
+// SimValidation replays random mappings through the discrete-event
+// simulator and reports the worst deviation from Equations 3-5
+// (experiment SIM).
+func SimValidation(w io.Writer, seed int64, trials int) error {
+	rng := rand.New(rand.NewSource(seed))
+	classes := []pipeline.Class{pipeline.FullyHomogeneous, pipeline.CommHomogeneous, pipeline.FullyHeterogeneous}
+	tb := report.New("SIM - discrete-event validation of Equations 3-5",
+		"model", "trials", "max period dev", "max latency dev", "match")
+	var firstErr error
+	for _, model := range []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap} {
+		maxP, maxL := 0.0, 0.0
+		for trial := 0; trial < trials; trial++ {
+			cfg := workload.Config{
+				Apps: 1 + rng.Intn(3), MinStages: 1, MaxStages: 6,
+				Procs: 3 + rng.Intn(6), Modes: 1 + rng.Intn(3),
+				Class:   classes[trial%len(classes)],
+				MaxWork: 9, MaxData: 6, MaxSpeed: 7, MaxBandwidth: 4,
+			}
+			if cfg.Procs < cfg.Apps {
+				cfg.Procs = cfg.Apps
+			}
+			inst := workload.MustInstance(rng, cfg)
+			m, err := workload.RandomMapping(rng, &inst)
+			if err != nil {
+				return err
+			}
+			results, err := sim.Simulate(&inst, &m, model, sim.Options{})
+			if err != nil {
+				return err
+			}
+			for a, r := range results {
+				wantT := mapping.AppPeriod(&inst, &m, a, model)
+				wantL := mapping.AppLatency(&inst, &m, a)
+				maxP = math.Max(maxP, relDev(r.SteadyPeriod, wantT))
+				maxL = math.Max(maxL, relDev(r.FirstLatency, wantL))
+			}
+		}
+		ok := maxP < 1e-9 && maxL < 1e-9
+		tb.Addf(model.String(), trials, maxP, maxL, okMark(ok))
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: simulator deviates: period %g latency %g", maxP, maxL)
+		}
+	}
+	tb.Render(w)
+	fmt.Fprintln(w)
+	return firstErr
+}
+
+func relDev(got, want float64) float64 {
+	return math.Abs(got-want) / math.Max(1, math.Abs(want))
+}
+
+// Pareto prints the full period/energy frontier of the motivating example
+// and answers the introduction's laptop and server problems
+// (experiment PARETO).
+func Pareto(w io.Writer) error {
+	inst := pipeline.MotivatingExample()
+	front, err := exact.ParetoFront(&inst, mapping.Interval, pipeline.Overlap)
+	if err != nil {
+		return err
+	}
+	tb := report.New("PARETO - (period, latency, energy) frontier of the Fig. 1 instance",
+		"period", "latency", "energy")
+	for _, pt := range front {
+		tb.Addf(pt.Period, pt.Latency, pt.Energy)
+	}
+	tb.Render(w)
+	fmt.Fprintln(w)
+
+	q := report.New("PARETO - laptop & server problems on the frontier", "question", "answer")
+	// Server problem: least energy with period <= 2 must be 46.
+	bestE := math.Inf(1)
+	for _, pt := range front {
+		if fmath.LE(pt.Period, 2) && pt.Energy < bestE {
+			bestE = pt.Energy
+		}
+	}
+	q.Addf("least energy with period <= 2 (server)", bestE)
+	// Laptop problem: best period within energy 46.
+	bestT := math.Inf(1)
+	for _, pt := range front {
+		if fmath.LE(pt.Energy, 46) && pt.Period < bestT {
+			bestT = pt.Period
+		}
+	}
+	q.Addf("best period within energy 46 (laptop)", bestT)
+	q.Render(w)
+	fmt.Fprintln(w)
+	if !fmath.EQ(bestE, 46) || !fmath.EQ(bestT, 2) {
+		return fmt.Errorf("experiments: pareto answers (%g, %g), want (46, 2)", bestE, bestT)
+	}
+	return nil
+}
+
+// Scaling demonstrates the polynomial/exponential split (experiment
+// SCALING): wall-clock growth of the Theorem 1 and Theorem 3 algorithms
+// versus the exhaustive search-space growth on NP-hard cells.
+func Scaling(w io.Writer, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	tb := report.New("SCALING - polynomial algorithms (wall clock)",
+		"algorithm", "size (N stages, p procs)", "time")
+	for _, n := range []int{8, 16, 32, 64} {
+		cfg := workload.Config{Apps: 2, MinStages: n / 2, MaxStages: n / 2, Procs: n + 2, Modes: 2,
+			Class: pipeline.CommHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8}
+		inst := workload.MustInstance(rng, cfg)
+		start := time.Now()
+		if _, err := core.Solve(&inst, core.Request{Rule: mapping.OneToOne, Objective: core.Period}); err != nil {
+			return err
+		}
+		tb.Addf("Thm 1 one-to-one period (comm-hom)", fmt.Sprintf("N=%d p=%d", n, n+2), time.Since(start).String())
+	}
+	for _, n := range []int{16, 32, 64, 128} {
+		cfg := workload.Config{Apps: 2, MinStages: n / 2, MaxStages: n / 2, Procs: 16, Modes: 2,
+			Class: pipeline.FullyHomogeneous, MaxWork: 9, MaxData: 5, MaxSpeed: 8}
+		inst := workload.MustInstance(rng, cfg)
+		start := time.Now()
+		if _, err := core.Solve(&inst, core.Request{Rule: mapping.Interval, Objective: core.Period}); err != nil {
+			return err
+		}
+		tb.Addf("Thm 3 interval period (fully-hom)", fmt.Sprintf("N=%d p=16", n), time.Since(start).String())
+	}
+	tb.Render(w)
+	fmt.Fprintln(w)
+
+	ex := report.New("SCALING - exhaustive search space on NP-hard cells",
+		"instance", "valid mappings", "note")
+	prev := int64(0)
+	for _, size := range []struct{ apps, stages, procs int }{{1, 3, 3}, {1, 4, 4}, {2, 3, 5}, {2, 4, 6}} {
+		cfg := workload.Config{Apps: size.apps, MinStages: size.stages, MaxStages: size.stages,
+			Procs: size.procs, Modes: 2, Class: pipeline.FullyHeterogeneous,
+			MaxWork: 5, MaxData: 3, MaxSpeed: 5, MaxBandwidth: 3}
+		inst := workload.MustInstance(rng, cfg)
+		n, err := exact.CountMappings(&inst, exact.Options{Rule: mapping.Interval, Modes: exact.AllModes, Limit: 200_000_000})
+		if err != nil {
+			return err
+		}
+		note := ""
+		if prev > 0 {
+			note = fmt.Sprintf("x%.1f over previous", float64(n)/float64(prev))
+		}
+		ex.Addf(fmt.Sprintf("A=%d n=%d p=%d m=2 (fully het)", size.apps, size.stages, size.procs), n, note)
+		prev = n
+	}
+	ex.Render(w)
+	fmt.Fprintln(w)
+	return nil
+}
+
+// All runs every experiment in sequence.
+func All(w io.Writer, seed int64) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	keep(Fig1(w))
+	keep(Table1(w, seed))
+	keep(Table2(w, seed))
+	keep(SimValidation(w, seed, 60))
+	keep(Pareto(w))
+	keep(NPC(w))
+	keep(Extensions(w, seed))
+	keep(Scaling(w, seed))
+	return firstErr
+}

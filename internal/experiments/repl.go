@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/algo/interval"
+	"repro/internal/fmath"
+	"repro/internal/general"
+	"repro/internal/npc"
+	"repro/internal/pipeline"
+	"repro/internal/repl"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Extensions validates the two future-work extensions (experiment ids
+// ABL-REPL and ABL-GEN): the replicated-interval DP against its exhaustive
+// oracle and the round-robin executor, and general mappings against
+// interval mappings plus the 2-partition gadget.
+func Extensions(w io.Writer, seed int64) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	keep(replicationExperiment(w, seed))
+	keep(generalExperiment(w))
+	return firstErr
+}
+
+func replicationExperiment(w io.Writer, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	tb := report.New("EXT-REPL - replicated interval mappings (Section 6 future work)",
+		"check", "trials", "result")
+
+	// DP optimality against the exhaustive replicated oracle.
+	matches, trials := 0, 12
+	for trial := 0; trial < trials; trial++ {
+		inst := workload.MustInstance(rng, workload.Config{
+			Apps: 1 + rng.Intn(2), MinStages: 1, MaxStages: 3,
+			Procs: 3 + rng.Intn(2), Modes: 1,
+			Class: pipeline.FullyHomogeneous, MaxWork: 8, MaxData: 4, MaxSpeed: 5,
+		})
+		model := []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap}[trial%2]
+		_, got, err := repl.MinPeriodFullyHom(&inst, model)
+		if err != nil {
+			return err
+		}
+		_, want, err := repl.ExactMinPeriod(&inst, model, 50_000_000)
+		if err != nil {
+			return err
+		}
+		if fmath.EQ(got, want) {
+			matches++
+		}
+	}
+	tb.Addf("replicated DP = exhaustive optimum", trials, fmt.Sprintf("%d/%d", matches, trials))
+	var firstErr error
+	if matches != trials {
+		firstErr = fmt.Errorf("experiments: replicated DP suboptimal on %d/%d trials", trials-matches, trials)
+	}
+
+	// Round-robin executor agreement.
+	simOK := 0
+	for trial := 0; trial < trials; trial++ {
+		inst := workload.MustInstance(rng, workload.DefaultConfig())
+		rm, err := workload.RandomReplicated(rng, &inst)
+		if err != nil {
+			return err
+		}
+		model := []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap}[trial%2]
+		if sim.VerifyReplicated(&inst, &rm, model, 1e-9) == nil {
+			simOK++
+		}
+	}
+	tb.Addf("round-robin executor = analytic formulas", trials, fmt.Sprintf("%d/%d", simOK, trials))
+	if simOK != trials && firstErr == nil {
+		firstErr = fmt.Errorf("experiments: replicated simulator diverged on %d/%d trials", trials-simOK, trials)
+	}
+
+	// The headline speedup.
+	inst := pipeline.Instance{
+		Apps: []pipeline.Application{{
+			Stages: []pipeline.Stage{{Work: 2, Out: 1}, {Work: 18, Out: 1}, {Work: 2, Out: 1}},
+			In:     1, Weight: 1,
+		}},
+		Platform: pipeline.NewHomogeneousPlatform(6, []float64{2}, 4, 1),
+		Energy:   pipeline.DefaultEnergy,
+	}
+	_, plain, err := interval.MinPeriodFullyHom(&inst, pipeline.Overlap)
+	if err != nil {
+		return err
+	}
+	rm, replicated, err := repl.MinPeriodFullyHom(&inst, pipeline.Overlap)
+	if err != nil {
+		return err
+	}
+	tb.Addf("bottleneck chain: plain vs replicated period", 1,
+		fmt.Sprintf("%s -> %s (%.2fx, energy %.0f -> %.0f)",
+			report.Fmt(plain), report.Fmt(replicated), plain/replicated,
+			12.0, repl.Energy(&inst, &rm)))
+	if !fmath.LT(replicated, plain) && firstErr == nil {
+		firstErr = fmt.Errorf("experiments: replication failed to improve the bottleneck chain")
+	}
+	tb.Render(w)
+	fmt.Fprintln(w)
+	return firstErr
+}
+
+func generalExperiment(w io.Writer) error {
+	tb := report.New("EXT-GEN - general mappings (Section 3.3 remark)",
+		"check", "instance", "result")
+	var firstErr error
+
+	// 2-partition gadget equivalence.
+	for _, c := range []struct {
+		items    []int
+		solvable bool
+	}{
+		{[]int{1, 2, 3}, true},
+		{[]int{1, 2, 4}, false},
+	} {
+		tp := npc.TwoPartition{Items: c.items}
+		if _, s := tp.Solve(); s != c.solvable {
+			return fmt.Errorf("experiments: 2-partition fixture broken")
+		}
+		inst := general.Encode2Partition(c.items)
+		_, period, err := general.ExactMinPeriod(&inst, 10_000_000)
+		if err != nil {
+			return err
+		}
+		half := float64(tp.Sum()) / 2
+		got := fmath.LE(period, half)
+		tb.Addf("period <= S/2 iff 2-partition solvable", fmt.Sprintf("%v", c.items),
+			fmt.Sprintf("solvable=%v feasible=%v %s", c.solvable, got, okMark(got == c.solvable)))
+		if got != c.solvable && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: general-mapping gadget equivalence failed on %v", c.items)
+		}
+	}
+
+	// Strict-gap witness: general beats interval on (1,5,1) / 2 procs.
+	app := pipeline.Application{Weight: 1, Stages: []pipeline.Stage{{Work: 1}, {Work: 5}, {Work: 1}}}
+	inst := pipeline.Instance{
+		Apps:     []pipeline.Application{app},
+		Platform: pipeline.NewHomogeneousPlatform(2, []float64{1}, 1, 1),
+		Energy:   pipeline.DefaultEnergy,
+	}
+	_, ivOpt, err := interval.MinPeriodFullyHom(&inst, pipeline.Overlap)
+	if err != nil {
+		return err
+	}
+	_, genOpt, err := general.ExactMinPeriod(&inst, 1_000_000)
+	if err != nil {
+		return err
+	}
+	tb.Addf("processor sharing strictly helps", "works (1,5,1), 2 procs",
+		fmt.Sprintf("interval %s, general %s %s", report.Fmt(ivOpt), report.Fmt(genOpt), okMark(fmath.LT(genOpt, ivOpt))))
+	if !fmath.LT(genOpt, ivOpt) && firstErr == nil {
+		firstErr = fmt.Errorf("experiments: general-mapping strict-gap witness broke")
+	}
+	tb.Render(w)
+	fmt.Fprintln(w)
+	return firstErr
+}

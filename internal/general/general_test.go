@@ -1,0 +1,202 @@
+package general
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo/interval"
+	"repro/internal/fmath"
+	"repro/internal/npc"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func noCommInstance(rng *rand.Rand, apps, maxStages, procs, maxWork int) pipeline.Instance {
+	inst := workload.MustInstance(rng, workload.Config{
+		Apps: apps, MinStages: 1, MaxStages: maxStages,
+		Procs: procs, Modes: 1,
+		Class: pipeline.FullyHomogeneous, MaxWork: maxWork, MaxData: 0, MaxSpeed: 4,
+	})
+	return inst
+}
+
+func TestCheckInstanceRejectsCommunication(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	if err := CheckInstance(&inst); !errors.Is(err, ErrHasCommunication) {
+		t.Errorf("communicating instance accepted: %v", err)
+	}
+	if _, _, err := ExactMinPeriod(&inst, 1000); !errors.Is(err, ErrHasCommunication) {
+		t.Errorf("exact solver accepted communication: %v", err)
+	}
+	if _, _, err := LPT(&inst); !errors.Is(err, ErrHasCommunication) {
+		t.Errorf("LPT accepted communication: %v", err)
+	}
+}
+
+// Test2PartitionGadget: period <= S/2 achievable iff 2-partition solvable —
+// the executable version of the paper's Section 3.3 remark.
+func Test2PartitionGadget(t *testing.T) {
+	cases := []struct {
+		items    []int
+		solvable bool
+	}{
+		{[]int{1, 2, 3}, true},
+		{[]int{2, 3, 4, 5}, true},
+		{[]int{1, 2, 4}, false},
+		{[]int{1, 1, 4}, false},
+		{[]int{3, 3, 3, 3}, true},
+	}
+	for i, c := range cases {
+		tp := npc.TwoPartition{Items: c.items}
+		if _, got := tp.Solve(); got != c.solvable {
+			t.Fatalf("case %d: fixture broken", i)
+		}
+		inst := Encode2Partition(c.items)
+		m, period, err := ExactMinPeriod(&inst, 1_000_000)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if err := m.Validate(&inst); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		half := float64(tp.Sum()) / 2
+		if got := fmath.LE(period, half); got != c.solvable {
+			t.Errorf("case %d: period %g <= %g is %v, want %v", i, period, half, got, c.solvable)
+		}
+	}
+}
+
+// TestGeneralNeverWorseThanInterval: interval mappings are a special case,
+// so the general optimum is at most the interval optimum; and on instances
+// engineered with interleaved heavy/light stages it is strictly better.
+func TestGeneralNeverWorseThanInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		inst := noCommInstance(rng, 1+rng.Intn(2), 4, 3, 8)
+		_, ivOpt, err := interval.MinPeriodFullyHom(&inst, pipeline.Overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, genOpt, err := ExactMinPeriod(&inst, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmath.GT(genOpt, ivOpt) {
+			t.Fatalf("trial %d: general optimum %g worse than interval optimum %g", trial, genOpt, ivOpt)
+		}
+	}
+	// Alternating heavy/light: works (4,1,4,1) on 2 unit processors.
+	// Interval mappings cannot split better than {4,1},{4,1}: period 5.
+	// The general mapping {4,1... pairs the two 4s apart: {4,1},{4,1} vs
+	// general {4,1} {4,1}: equal here; use (4,4,1,... works (4,1,1,4):
+	// interval best split {4,1},{1,4} = 5; general {4,1},{1,4}... also 5.
+	// Works (3,2,3,2) on 2 procs: interval {3,2},{3,2} = 5; general
+	// {3,2},{3,2} = 5 — balanced anyway. Use (5,1,1,5,... works
+	// (5,1,5,1): interval {5,1},{5,1}=6; general {5,1},{5,1}=6. Hmm:
+	// total 12, perfect split 6 either way. Works (1,5,5,1): interval
+	// splits: {1,5},{5,1} = 6 = general. For a strict gap: (1,5,1) on 2
+	// procs: interval: {1,5},{1} = 6 or {1},{5,1} = 6; general {5},{1,1}
+	// = 5.
+	app := pipeline.Application{Weight: 1, Stages: []pipeline.Stage{{Work: 1}, {Work: 5}, {Work: 1}}}
+	inst := pipeline.Instance{
+		Apps:     []pipeline.Application{app},
+		Platform: pipeline.NewHomogeneousPlatform(2, []float64{1}, 1, 1),
+		Energy:   pipeline.DefaultEnergy,
+	}
+	_, ivOpt, err := interval.MinPeriodFullyHom(&inst, pipeline.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, genOpt, err := ExactMinPeriod(&inst, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmath.EQ(ivOpt, 6) || !fmath.EQ(genOpt, 5) {
+		t.Errorf("interval %g (want 6), general %g (want 5): the strict-gap witness broke", ivOpt, genOpt)
+	}
+}
+
+// TestLPTWithinGrahamBound: LPT is within 4/3 - 1/(3p) of the optimum on
+// identical processors.
+func TestLPTWithinGrahamBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 40; trial++ {
+		procs := 2 + rng.Intn(2)
+		inst := noCommInstance(rng, 1+rng.Intn(2), 5, procs, 9)
+		m, got, err := LPT(&inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(&inst); err != nil {
+			t.Fatal(err)
+		}
+		if !fmath.EQ(m.Period(&inst), got) {
+			t.Fatalf("trial %d: reported period mismatch", trial)
+		}
+		_, opt, err := ExactMinPeriod(&inst, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := opt * (4.0/3.0 - 1.0/(3.0*float64(procs)))
+		if fmath.GT(got, bound) {
+			t.Errorf("trial %d: LPT %g exceeds Graham bound %g (opt %g, p=%d)", trial, got, bound, opt, procs)
+		}
+		if fmath.LT(got, opt) {
+			t.Errorf("trial %d: LPT %g beats the oracle %g", trial, got, opt)
+		}
+	}
+}
+
+func TestEnergyCountsOnlyLoadedProcessors(t *testing.T) {
+	inst := Encode2Partition([]int{2, 2})
+	m := NewMapping(&inst)
+	m.Assign[0][0] = 0
+	m.Assign[0][1] = 0 // both stages on P0: P1 idle
+	if err := m.Validate(&inst); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Energy(&inst); !fmath.EQ(got, 1) {
+		t.Errorf("energy = %g, want 1 (one unit-speed processor)", got)
+	}
+	if got := m.Period(&inst); !fmath.EQ(got, 4) {
+		t.Errorf("period = %g, want 4", got)
+	}
+}
+
+func TestWeightedLoads(t *testing.T) {
+	inst := pipeline.Instance{
+		Apps: []pipeline.Application{
+			{Weight: 2, Stages: []pipeline.Stage{{Work: 3}}},
+			{Weight: 1, Stages: []pipeline.Stage{{Work: 4}}},
+		},
+		Platform: pipeline.NewHomogeneousPlatform(2, []float64{2}, 1, 2),
+		Energy:   pipeline.DefaultEnergy,
+	}
+	m := NewMapping(&inst)
+	m.Assign[0][0] = 0
+	m.Assign[1][0] = 1
+	// Weighted works: 6 on P0, 4 on P1; speeds 2 => period 3.
+	if got := m.Period(&inst); !fmath.EQ(got, 3) {
+		t.Errorf("weighted period = %g, want 3", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	inst := Encode2Partition([]int{1, 2})
+	m := NewMapping(&inst)
+	m.Assign[0][1] = 9
+	if err := m.Validate(&inst); err == nil {
+		t.Error("unknown processor accepted")
+	}
+	m = NewMapping(&inst)
+	m.Mode[0] = 7
+	if err := m.Validate(&inst); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	m = NewMapping(&inst)
+	m.Assign = m.Assign[:0]
+	if err := m.Validate(&inst); err == nil {
+		t.Error("short assignment accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Package mapping defines one-to-one and interval mappings of concurrent
+// pipelined applications onto processors (Section 3.3) and the analytic
+// evaluation of their period, latency and energy (Sections 3.4-3.5,
+// Equations 3-6).
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// Rule selects the mapping strategy.
+type Rule int
+
+const (
+	// OneToOne: each application stage is allocated to a distinct
+	// processor.
+	OneToOne Rule = iota
+	// Interval: each participating processor is assigned an interval of
+	// consecutive stages of a single application. One-to-one mappings are
+	// a special case.
+	Interval
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	switch r {
+	case OneToOne:
+		return "one-to-one"
+	case Interval:
+		return "interval"
+	}
+	return fmt.Sprintf("Rule(%d)", int(r))
+}
+
+// PlacedInterval assigns the stages From..To (inclusive, 0-based) of one
+// application to a processor running in a fixed mode.
+type PlacedInterval struct {
+	From, To int
+	// Proc is the processor index in the platform.
+	Proc int
+	// Mode indexes into the processor's Speeds slice; the chosen speed is
+	// fixed for the whole execution (Section 3.2).
+	Mode int
+}
+
+// Len returns the number of stages in the interval.
+func (iv PlacedInterval) Len() int { return iv.To - iv.From + 1 }
+
+// AppMapping is the ordered interval decomposition of one application.
+type AppMapping struct {
+	Intervals []PlacedInterval
+}
+
+// Mapping maps every application of an instance. Processors may not be
+// shared across intervals, whether of the same or of different applications
+// (Section 3.3).
+type Mapping struct {
+	Apps []AppMapping
+}
+
+// Clone returns a deep copy.
+func (m *Mapping) Clone() Mapping {
+	c := Mapping{Apps: make([]AppMapping, len(m.Apps))}
+	for i := range m.Apps {
+		c.Apps[i].Intervals = append([]PlacedInterval(nil), m.Apps[i].Intervals...)
+	}
+	return c
+}
+
+// UsedProcessors returns the sorted list of enrolled processor indices.
+func (m *Mapping) UsedProcessors() []int {
+	var out []int
+	for a := range m.Apps {
+		for _, iv := range m.Apps[a].Intervals {
+			out = append(out, iv.Proc)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumIntervals returns the total number of placed intervals (= enrolled
+// processors, since sharing is forbidden).
+func (m *Mapping) NumIntervals() int {
+	n := 0
+	for a := range m.Apps {
+		n += len(m.Apps[a].Intervals)
+	}
+	return n
+}
+
+// ProcOf returns the placed interval covering stage k of application a and
+// its index within the application's interval list.
+func (m *Mapping) ProcOf(a, k int) (PlacedInterval, int) {
+	for j, iv := range m.Apps[a].Intervals {
+		if iv.From <= k && k <= iv.To {
+			return iv, j
+		}
+	}
+	panic(fmt.Sprintf("mapping: stage %d of application %d not covered", k, a))
+}
+
+// String renders a compact human-readable description.
+func (m *Mapping) String() string {
+	var sb strings.Builder
+	for a := range m.Apps {
+		if a > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "app%d:", a)
+		for j, iv := range m.Apps[a].Intervals {
+			if j > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " [%d-%d]->P%d/m%d", iv.From, iv.To, iv.Proc, iv.Mode)
+		}
+	}
+	return sb.String()
+}
+
+// Validate checks that m is a legal mapping of inst under the given rule:
+// the intervals of each application partition its stages in order, no
+// processor is reused, modes are valid, and under OneToOne every interval
+// has length 1.
+func (m *Mapping) Validate(inst *pipeline.Instance, rule Rule) error {
+	if len(m.Apps) != len(inst.Apps) {
+		return fmt.Errorf("mapping: covers %d applications, instance has %d", len(m.Apps), len(inst.Apps))
+	}
+	used := make(map[int]bool)
+	for a := range m.Apps {
+		ivs := m.Apps[a].Intervals
+		n := inst.Apps[a].NumStages()
+		if len(ivs) == 0 {
+			return fmt.Errorf("mapping: application %d has no intervals", a)
+		}
+		next := 0
+		for j, iv := range ivs {
+			if iv.From != next {
+				return fmt.Errorf("mapping: application %d interval %d starts at %d, want %d", a, j, iv.From, next)
+			}
+			if iv.To < iv.From || iv.To >= n {
+				return fmt.Errorf("mapping: application %d interval %d range [%d,%d] invalid for %d stages", a, j, iv.From, iv.To, n)
+			}
+			if rule == OneToOne && iv.Len() != 1 {
+				return fmt.Errorf("mapping: application %d interval %d has %d stages; one-to-one requires 1", a, j, iv.Len())
+			}
+			if iv.Proc < 0 || iv.Proc >= inst.Platform.NumProcessors() {
+				return fmt.Errorf("mapping: application %d interval %d uses unknown processor %d", a, j, iv.Proc)
+			}
+			if used[iv.Proc] {
+				return fmt.Errorf("mapping: processor %d assigned twice (no sharing allowed)", iv.Proc)
+			}
+			used[iv.Proc] = true
+			if iv.Mode < 0 || iv.Mode >= inst.Platform.Processors[iv.Proc].NumModes() {
+				return fmt.Errorf("mapping: application %d interval %d uses invalid mode %d on processor %d", a, j, iv.Mode, iv.Proc)
+			}
+			next = iv.To + 1
+		}
+		if next != n {
+			return fmt.Errorf("mapping: application %d intervals cover %d stages, want %d", a, next, n)
+		}
+	}
+	return nil
+}
+
+// WholeApp maps application a entirely onto one processor/mode.
+func WholeApp(inst *pipeline.Instance, a, proc, mode int) AppMapping {
+	return AppMapping{Intervals: []PlacedInterval{{From: 0, To: inst.Apps[a].NumStages() - 1, Proc: proc, Mode: mode}}}
+}
+
+// OneToOneChain maps the stages of application a to the given processors in
+// order, one stage per processor, all at the given mode selector.
+func OneToOneChain(procs []int, modeOf func(proc int) int) AppMapping {
+	am := AppMapping{}
+	for k, u := range procs {
+		am.Intervals = append(am.Intervals, PlacedInterval{From: k, To: k, Proc: u, Mode: modeOf(u)})
+	}
+	return am
+}
+
+// FastestMode returns a mode selector choosing each processor's highest
+// speed, the right choice whenever energy is not among the criteria
+// (Section 2).
+func FastestMode(inst *pipeline.Instance) func(proc int) int {
+	return func(proc int) int { return inst.Platform.Processors[proc].NumModes() - 1 }
+}

@@ -1,0 +1,237 @@
+package npc
+
+import (
+	"math"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// EncodePeriodInterval builds the Theorem 5 scheduling instance from a
+// 3-partition instance: m identical pipelines of B unit-work stages with no
+// communication, and 3m uni-modal processors whose speeds are the items.
+// The instance admits an interval mapping of global period <= 1 iff the
+// items can be partitioned into m groups each summing to B (exactly the
+// 3-partition question when the strict item window holds).
+func EncodePeriodInterval(tp ThreePartition) pipeline.Instance {
+	m := tp.M()
+	apps := make([]pipeline.Application, m)
+	for j := range apps {
+		apps[j] = pipeline.NewUniformApplication("pipe", tp.B, 1)
+	}
+	sets := make([][]float64, len(tp.Items))
+	for i, a := range tp.Items {
+		sets[i] = []float64{float64(a)}
+	}
+	return pipeline.Instance{
+		Apps:     apps,
+		Platform: pipeline.NewCommHomogeneousPlatform(sets, 1, m),
+		Energy:   pipeline.DefaultEnergy,
+	}
+}
+
+// EncodePeriodIntervalWeighted is the Theorem 6 variant: per-application
+// weights W_a with stage works 1/W_a, so the weighted period question is
+// the same partition question.
+func EncodePeriodIntervalWeighted(tp ThreePartition, weights []float64) pipeline.Instance {
+	inst := EncodePeriodInterval(tp)
+	for a := range inst.Apps {
+		inst.Apps[a].Weight = weights[a]
+		for k := range inst.Apps[a].Stages {
+			inst.Apps[a].Stages[k].Work = 1 / weights[a]
+		}
+	}
+	return inst
+}
+
+// DecodePeriodInterval extracts, from an interval mapping of period <= 1 on
+// an EncodePeriodInterval instance, the induced partition: group j lists
+// the item indices (processors) serving application j.
+func DecodePeriodInterval(m *mapping.Mapping) [][]int {
+	out := make([][]int, len(m.Apps))
+	for a := range m.Apps {
+		for _, iv := range m.Apps[a].Intervals {
+			out[a] = append(out[a], iv.Proc)
+		}
+	}
+	return out
+}
+
+// EncodeLatencyOneToOne builds the Theorem 9 instance: m identical
+// pipelines of three unit-work stages without communication, and 3m
+// uni-modal processors of speeds 1/a_j. A one-to-one mapping of global
+// latency <= B exists iff the 3-partition instance is solvable (here group
+// cardinalities are forced to 3 by the mapping rule itself).
+func EncodeLatencyOneToOne(tp ThreePartition) pipeline.Instance {
+	m := tp.M()
+	apps := make([]pipeline.Application, m)
+	for j := range apps {
+		apps[j] = pipeline.NewUniformApplication("pipe", 3, 1)
+	}
+	sets := make([][]float64, len(tp.Items))
+	for i, a := range tp.Items {
+		sets[i] = []float64{1 / float64(a)}
+	}
+	return pipeline.Instance{
+		Apps:     apps,
+		Platform: pipeline.NewCommHomogeneousPlatform(sets, 1, m),
+		Energy:   pipeline.DefaultEnergy,
+	}
+}
+
+// TriCriteriaGadget is a Theorem 26/27 instance together with the decision
+// thresholds: does a mapping exist with period <= PeriodBound, latency <=
+// LatencyBound and energy <= EnergyBound?
+type TriCriteriaGadget struct {
+	Instance     pipeline.Instance
+	PeriodBound  float64
+	LatencyBound float64
+	EnergyBound  float64
+	// Rule is the mapping rule the gadget targets (one-to-one for
+	// Theorem 26, interval for Theorem 27).
+	Rule mapping.Rule
+	// K and X are the construction parameters (see below).
+	K, X float64
+}
+
+// EncodeTriCriteriaOneToOne builds the Theorem 26 gadget from a 2-partition
+// instance, with alpha = 2. Stage i (1-based) has work K^{3i}; each of the
+// n identical processors has the 2n modes
+//
+//	s_{2i-1} = K^i,   s_{2i} = K^i + a_i*X / K^i,
+//
+// so that choosing the faster mode of level i costs ~2*a_i*X extra energy
+// and saves ~a_i*X latency. (The paper's printed speed perturbation
+// a_i*X/K^{i*alpha} mismatches its own first-order expansions; the
+// correction a_i*X/K^{i*(alpha-1)} restores Delta E ~ alpha*a_i*X and
+// Delta L ~ a_i*X, which the proofs rely on. DESIGN.md documents this.)
+//
+// The thresholds encode "sum over the chosen fast levels = S/2":
+//
+//	E^o = E* + 2X(S/2 + 1/2),  L^o = L* - X(S/2 - 1/2),  T^o = L^o,
+//
+// with E* = L* = sum_i K^{2i}. The instance is a one-to-one tri-criteria
+// decision problem on a fully homogeneous multi-modal platform with a
+// single application and no communication, exactly the Theorem 26 setting.
+//
+// The iff-equivalence holds when the item sum S is even: the +-1/2
+// integrality slack in the thresholds pins sum(I) to S/2 exactly. For odd S
+// the 2-partition instance is trivially unsolvable and would not be fed to
+// a reduction in the first place.
+func EncodeTriCriteriaOneToOne(tp TwoPartition, k, x float64) TriCriteriaGadget {
+	n := len(tp.Items)
+	s := float64(tp.Sum())
+	app := pipeline.Application{Name: "gadget", Weight: 1}
+	var modes []float64
+	var estar float64
+	for i := 1; i <= n; i++ {
+		ki := math.Pow(k, float64(i))
+		app.Stages = append(app.Stages, pipeline.Stage{Work: ki * ki * ki})
+		modes = append(modes, ki, ki+float64(tp.Items[i-1])*x/ki)
+		estar += ki * ki
+	}
+	plat := pipeline.NewHomogeneousPlatform(n, modes, 1, 1)
+	inst := pipeline.Instance{
+		Apps:     []pipeline.Application{app},
+		Platform: plat,
+		Energy:   pipeline.DefaultEnergy, // alpha = 2
+	}
+	lo := estar - x*(s/2-0.5)
+	return TriCriteriaGadget{
+		Instance:     inst,
+		PeriodBound:  lo,
+		LatencyBound: lo,
+		EnergyBound:  estar + 2*x*(s/2+0.5),
+		Rule:         mapping.OneToOne,
+		K:            k,
+		X:            x,
+	}
+}
+
+// DecodeTriCriteria reads the chosen subset off a feasible gadget mapping:
+// item i is in I iff small stage i runs in the fast mode of its level (mode
+// index 2i+1, 0-based). In the interval variant the odd-indexed "big"
+// separator stages must sit on top-mode processors and are skipped. The
+// boolean reports whether the mapping is a canonical witness (every small
+// stage at a mode of its own level); the completeness proofs show feasible
+// mappings are canonical once K is large enough.
+func DecodeTriCriteria(g *TriCriteriaGadget, m *mapping.Mapping) ([]bool, bool) {
+	nItems := levelCount(g)
+	in := make([]bool, nItems)
+	for _, iv := range m.Apps[0].Intervals {
+		for st := iv.From; st <= iv.To; st++ {
+			if g.Rule == mapping.Interval && st%2 == 1 {
+				continue // big separator stage
+			}
+			level := stageLevel(g, st)
+			switch iv.Mode {
+			case 2 * level:
+				// slow mode of the right level
+			case 2*level + 1:
+				in[level] = true
+			default:
+				return nil, false // wrong-level mode: not a canonical witness
+			}
+		}
+	}
+	return in, true
+}
+
+func levelCount(g *TriCriteriaGadget) int {
+	n := len(g.Instance.Apps[0].Stages)
+	if g.Rule == mapping.OneToOne {
+		return n
+	}
+	return (n + 1) / 2
+}
+
+func stageLevel(g *TriCriteriaGadget, stage int) int {
+	if g.Rule == mapping.OneToOne {
+		return stage
+	}
+	// Interval gadget: stages alternate small, big, small, big, ...
+	return stage / 2
+}
+
+// EncodeTriCriteriaInterval builds the Theorem 27 gadget: the Theorem 26
+// chain with "big" separator stages of work K^{3(n+1)} inserted between
+// consecutive small stages, 2n-1 processors, and an extra top mode K^{n+1}
+// per processor that is the only way to execute a big stage within the
+// period bound T^o = K^{2(n+1)}. Any feasible interval mapping must
+// therefore isolate each big stage on its own top-mode processor, reducing
+// the rest to the Theorem 26 argument.
+func EncodeTriCriteriaInterval(tp TwoPartition, k, x float64) TriCriteriaGadget {
+	n := len(tp.Items)
+	s := float64(tp.Sum())
+	kb := math.Pow(k, float64(n+1))
+	big := kb * kb * kb
+	app := pipeline.Application{Name: "gadget", Weight: 1}
+	var modes []float64
+	var estar float64
+	for i := 1; i <= n; i++ {
+		ki := math.Pow(k, float64(i))
+		app.Stages = append(app.Stages, pipeline.Stage{Work: ki * ki * ki})
+		if i < n {
+			app.Stages = append(app.Stages, pipeline.Stage{Work: big})
+		}
+		modes = append(modes, ki, ki+float64(tp.Items[i-1])*x/ki)
+		estar += ki * ki
+	}
+	modes = append(modes, kb)
+	plat := pipeline.NewHomogeneousPlatform(2*n-1, modes, 1, 1)
+	inst := pipeline.Instance{
+		Apps:     []pipeline.Application{app},
+		Platform: plat,
+		Energy:   pipeline.DefaultEnergy,
+	}
+	bigCount := float64(n - 1)
+	return TriCriteriaGadget{
+		Instance:     inst,
+		PeriodBound:  kb * kb,
+		LatencyBound: bigCount*kb*kb + estar - x*(s/2-0.5),
+		EnergyBound:  bigCount*kb*kb + estar + 2*x*(s/2+0.5),
+		Rule:         mapping.Interval,
+		K:            k,
+		X:            x,
+	}
+}

@@ -1,0 +1,224 @@
+// Package npc implements the paper's NP-hardness reduction gadgets as
+// executable encoders, together with exact solvers for the source
+// combinatorial problems. The tests use them to verify, on small instances,
+// the iff-equivalences claimed by the completeness proofs:
+//
+//   - Theorem 5/6/7: 3-partition <-> interval period minimization with
+//     heterogeneous processors, homogeneous pipelines, no communication.
+//   - Theorem 9/10/11: 3-partition <-> one-to-one latency minimization in
+//     the same special-app setting.
+//   - Theorem 26: 2-partition <-> the tri-criteria problem with multi-modal
+//     processors on fully homogeneous platforms (one-to-one).
+//   - Theorem 27: the interval variant of Theorem 26, with "big" separator
+//     stages.
+package npc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ThreePartition is an instance of the 3-partition problem: 3m positive
+// integers to be split into m triples, each summing to B.
+type ThreePartition struct {
+	B     int
+	Items []int
+}
+
+// M returns the number of triples m.
+func (tp ThreePartition) M() int { return len(tp.Items) / 3 }
+
+// Validate checks the structural requirements: 3m items summing to m*B.
+// The strict window B/4 < a_i < B/2 (which forces triples) is reported
+// separately by Strict, because small hand-built test instances often live
+// outside it.
+func (tp ThreePartition) Validate() error {
+	if len(tp.Items)%3 != 0 || len(tp.Items) == 0 {
+		return fmt.Errorf("npc: 3-partition needs 3m items, have %d", len(tp.Items))
+	}
+	sum := 0
+	for _, a := range tp.Items {
+		if a <= 0 {
+			return fmt.Errorf("npc: non-positive item %d", a)
+		}
+		sum += a
+	}
+	if sum != tp.M()*tp.B {
+		return fmt.Errorf("npc: items sum to %d, want m*B = %d", sum, tp.M()*tp.B)
+	}
+	return nil
+}
+
+// Strict reports whether every item satisfies B/4 < a_i < B/2, the
+// condition making 3-partition strongly NP-complete and forcing all groups
+// to have exactly three elements.
+func (tp ThreePartition) Strict() bool {
+	for _, a := range tp.Items {
+		if 4*a <= tp.B || 2*a >= tp.B {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveTriples finds a partition of the items into m triples each summing
+// to B, by exhaustive backtracking over triples (exponential; fine for the
+// gadget sizes used in tests and benchmarks). It returns the triples as
+// item-index lists.
+func (tp ThreePartition) SolveTriples() ([][3]int, bool) {
+	n := len(tp.Items)
+	if n%3 != 0 {
+		return nil, false
+	}
+	used := make([]bool, n)
+	var out [][3]int
+	var rec func(placed int) bool
+	rec = func(placed int) bool {
+		if placed == n {
+			return true
+		}
+		// First unused item anchors the next triple (canonical order kills
+		// symmetric duplicates).
+		first := -1
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				first = i
+				break
+			}
+		}
+		used[first] = true
+		for j := first + 1; j < n; j++ {
+			if used[j] || tp.Items[first]+tp.Items[j] >= tp.B {
+				continue
+			}
+			used[j] = true
+			for k := j + 1; k < n; k++ {
+				if used[k] || tp.Items[first]+tp.Items[j]+tp.Items[k] != tp.B {
+					continue
+				}
+				used[k] = true
+				out = append(out, [3]int{first, j, k})
+				if rec(placed + 3) {
+					return true
+				}
+				out = out[:len(out)-1]
+				used[k] = false
+			}
+			used[j] = false
+		}
+		used[first] = false
+		return false
+	}
+	if rec(0) {
+		return out, true
+	}
+	return nil, false
+}
+
+// SolveGroups finds a partition of the items into m groups (any
+// cardinality) each summing to B, via dynamic programming over subsets
+// (items limited to 20). This is the combinatorial condition exactly
+// equivalent to "period 1 achievable" in the Theorem 5 encoding when the
+// strict window is not enforced; under the window it coincides with
+// SolveTriples.
+func (tp ThreePartition) SolveGroups() ([][]int, bool) {
+	n := len(tp.Items)
+	if n > 20 {
+		return nil, false
+	}
+	full := 1<<n - 1
+	// subsetSum[s] for all subsets.
+	sums := make([]int, full+1)
+	for s := 1; s <= full; s++ {
+		i := bits.TrailingZeros(uint(s))
+		sums[s] = sums[s&(s-1)] + tp.Items[i]
+	}
+	// reach[s]: prefix of items coverable by exact-B groups; choice[s]
+	// records the last group.
+	reach := make([]bool, full+1)
+	choice := make([]int, full+1)
+	reach[0] = true
+	for s := 1; s <= full; s++ {
+		// Force the lowest unused item into the current group to avoid
+		// enumerating each group multiple times.
+		low := bits.TrailingZeros(uint(s))
+		lowBit := 1 << low
+		for g := s; g > 0; g = (g - 1) & s {
+			if g&lowBit == 0 || sums[g] != tp.B || !reach[s^g] {
+				continue
+			}
+			reach[s] = true
+			choice[s] = g
+			break
+		}
+	}
+	if !reach[full] {
+		return nil, false
+	}
+	var out [][]int
+	for s := full; s != 0; s ^= choice[s] {
+		g := choice[s]
+		var grp []int
+		for i := 0; i < n; i++ {
+			if g&(1<<i) != 0 {
+				grp = append(grp, i)
+			}
+		}
+		out = append(out, grp)
+	}
+	return out, true
+}
+
+// TwoPartition is an instance of the 2-partition problem: split the items
+// into two subsets with equal sums.
+type TwoPartition struct {
+	Items []int
+}
+
+// Sum returns the total of all items.
+func (tp TwoPartition) Sum() int {
+	s := 0
+	for _, a := range tp.Items {
+		s += a
+	}
+	return s
+}
+
+// Solve finds a subset I with sum(I) = S/2 by subset-sum dynamic
+// programming; it returns a membership mask (in[i] reports i in I).
+func (tp TwoPartition) Solve() ([]bool, bool) {
+	s := tp.Sum()
+	if s%2 != 0 {
+		return nil, false
+	}
+	half := s / 2
+	// from[t] = index of the last item used to first reach sum t, -1 if
+	// unreached, -2 for the empty sum.
+	from := make([]int, half+1)
+	for t := range from {
+		from[t] = -1
+	}
+	from[0] = -2
+	for i, a := range tp.Items {
+		if a <= 0 {
+			return nil, false
+		}
+		for t := half; t >= a; t-- {
+			if from[t] == -1 && from[t-a] != -1 && from[t-a] != i {
+				// from[t-a] != i is guaranteed by the downward sweep; kept
+				// for clarity.
+				from[t] = i
+			}
+		}
+	}
+	if from[half] == -1 {
+		return nil, false
+	}
+	in := make([]bool, len(tp.Items))
+	for t := half; t > 0; {
+		i := from[t]
+		in[i] = true
+		t -= tp.Items[i]
+	}
+	return in, true
+}

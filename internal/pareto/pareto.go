@@ -1,0 +1,169 @@
+// Package pareto builds period/energy trade-off frontiers — the
+// laptop-problem ("best schedule within an energy budget") and
+// server-problem ("least energy for a performance target") curves discussed
+// in the paper's introduction. On the platform classes where the paper's
+// bi-criteria algorithms are polynomial, the frontier itself is computed in
+// polynomial time by sweeping the exact candidate set of achievable
+// periods; elsewhere the exhaustive exact.ParetoFront applies.
+package pareto
+
+import (
+	"math"
+
+	"repro/internal/algo/interval"
+	"repro/internal/algo/matching"
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// Point is one (weighted global period, total energy) trade-off with a
+// witness mapping.
+type Point struct {
+	Period  float64
+	Energy  float64
+	Mapping mapping.Mapping
+}
+
+// Filter returns the non-dominated subset, sorted by increasing period. A
+// point dominates another when it is no worse on both coordinates and
+// strictly better on one.
+func Filter(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	// Sort by period then energy (insertion sort: frontiers are small).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && (sorted[j].Period < sorted[j-1].Period ||
+			(sorted[j].Period == sorted[j-1].Period && sorted[j].Energy < sorted[j-1].Energy)); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var out []Point
+	bestE := math.Inf(1)
+	for _, pt := range sorted {
+		if fmath.LT(pt.Energy, bestE) {
+			out = append(out, pt)
+			bestE = pt.Energy
+		}
+	}
+	return out
+}
+
+// periodCandidates returns every achievable weighted global period value of
+// interval mappings on a fully homogeneous platform: W_a times the cycle
+// time of any stage interval at any common speed.
+func periodCandidates(inst *pipeline.Instance, model pipeline.CommModel) []float64 {
+	speeds := inst.Platform.Processors[0].Speeds
+	b, _ := inst.Platform.HomogeneousLinks()
+	var cands []float64
+	for a := range inst.Apps {
+		w := inst.Apps[a].EffectiveWeight()
+		app := &inst.Apps[a]
+		pre := app.WorkPrefix()
+		n := app.NumStages()
+		for _, s := range speeds {
+			for f := 0; f < n; f++ {
+				for t := f; t < n; t++ {
+					in, out := 0.0, 0.0
+					if v := app.InputSize(f); v > 0 {
+						in = v / b
+					}
+					if v := app.OutputSize(t); v > 0 {
+						out = v / b
+					}
+					cands = append(cands, w*mapping.IntervalCost(model, in, (pre[t+1]-pre[f])/s, out))
+				}
+			}
+		}
+	}
+	return fmath.SortedUnique(cands)
+}
+
+// PeriodEnergyFullyHom computes the full period/energy frontier of interval
+// mappings on a fully homogeneous multi-modal platform, by solving the
+// Theorem 18+21 dynamic program at every candidate period. Each frontier
+// point's mapping is a witness achieving (period <= Point.Period,
+// Point.Energy) with minimal energy.
+func PeriodEnergyFullyHom(inst *pipeline.Instance, model pipeline.CommModel) ([]Point, error) {
+	var points []Point
+	for _, cand := range periodCandidates(inst, model) {
+		bounds := make([]float64, len(inst.Apps))
+		for a := range bounds {
+			bounds[a] = cand / inst.Apps[a].EffectiveWeight()
+		}
+		m, e, err := interval.MinEnergyGivenPeriodFullyHom(inst, model, bounds)
+		if err != nil {
+			continue // infeasible at this period
+		}
+		points = append(points, Point{
+			Period:  mapping.Period(inst, &m, model),
+			Energy:  e,
+			Mapping: m,
+		})
+	}
+	return Filter(points), nil
+}
+
+// PeriodEnergyOneToOneCommHom computes the one-to-one period/energy
+// frontier on a communication homogeneous platform by running the Theorem
+// 19 matching at every candidate period (W_a times any stage cycle time at
+// any processor mode).
+func PeriodEnergyOneToOneCommHom(inst *pipeline.Instance, model pipeline.CommModel) ([]Point, error) {
+	b, _ := inst.Platform.HomogeneousLinks()
+	var cands []float64
+	for a := range inst.Apps {
+		app := &inst.Apps[a]
+		w := app.EffectiveWeight()
+		for k := range app.Stages {
+			in, out := 0.0, 0.0
+			if v := app.InputSize(k); v > 0 {
+				in = v / b
+			}
+			if v := app.OutputSize(k); v > 0 {
+				out = v / b
+			}
+			for u := range inst.Platform.Processors {
+				for _, s := range inst.Platform.Processors[u].Speeds {
+					cands = append(cands, w*mapping.IntervalCost(model, in, app.Stages[k].Work/s, out))
+				}
+			}
+		}
+	}
+	cands = fmath.SortedUnique(cands)
+	var points []Point
+	for _, cand := range cands {
+		bounds := make([]float64, len(inst.Apps))
+		for a := range bounds {
+			bounds[a] = cand / inst.Apps[a].EffectiveWeight()
+		}
+		m, e, err := matching.MinEnergyGivenPeriodCommHom(inst, model, bounds)
+		if err != nil {
+			continue
+		}
+		points = append(points, Point{Period: mapping.Period(inst, &m, model), Energy: e, Mapping: m})
+	}
+	return Filter(points), nil
+}
+
+// MinEnergyUnderPeriod answers the server problem from a frontier: the
+// least energy whose period does not exceed the target, or +Inf.
+func MinEnergyUnderPeriod(front []Point, target float64) float64 {
+	best := math.Inf(1)
+	for _, pt := range front {
+		if fmath.LE(pt.Period, target) && pt.Energy < best {
+			best = pt.Energy
+		}
+	}
+	return best
+}
+
+// MinPeriodUnderEnergy answers the laptop problem from a frontier: the best
+// period achievable within the energy budget, or +Inf.
+func MinPeriodUnderEnergy(front []Point, budget float64) float64 {
+	best := math.Inf(1)
+	for _, pt := range front {
+		if fmath.LE(pt.Energy, budget) && pt.Period < best {
+			best = pt.Period
+		}
+	}
+	return best
+}

@@ -1,0 +1,165 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo/exact"
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func TestFilter(t *testing.T) {
+	pts := []Point{
+		{Period: 1, Energy: 10},
+		{Period: 2, Energy: 5},
+		{Period: 2, Energy: 7}, // dominated
+		{Period: 3, Energy: 5}, // dominated (same energy, worse period)
+		{Period: 4, Energy: 1},
+		{Period: 0.5, Energy: 20},
+	}
+	front := Filter(pts)
+	want := []Point{{Period: 0.5, Energy: 20}, {Period: 1, Energy: 10}, {Period: 2, Energy: 5}, {Period: 4, Energy: 1}}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want %v", front, want)
+	}
+	for i := range want {
+		if front[i].Period != want[i].Period || front[i].Energy != want[i].Energy {
+			t.Fatalf("front[%d] = %+v, want %+v", i, front[i], want[i])
+		}
+	}
+	if out := Filter(nil); len(out) != 0 {
+		t.Error("Filter(nil) not empty")
+	}
+}
+
+// TestPeriodEnergyFullyHomMatchesExhaustive: on small fully homogeneous
+// instances, the polynomial frontier must equal the projection of the
+// exhaustive Pareto front onto (period, energy).
+func TestPeriodEnergyFullyHomMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		inst := workload.MustInstance(rng, workload.Config{
+			Apps: 1 + rng.Intn(2), MinStages: 1, MaxStages: 3,
+			Procs: 3, Modes: 2, Class: pipeline.FullyHomogeneous,
+			MaxWork: 6, MaxData: 3, MaxSpeed: 5,
+		})
+		model := []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap}[trial%2]
+		front, err := PeriodEnergyFullyHom(&inst, model)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		full, err := exact.ParetoFront(&inst, mapping.Interval, model)
+		if err != nil {
+			t.Fatalf("trial %d oracle: %v", trial, err)
+		}
+		// Project the exhaustive 3-criteria front onto (period, energy).
+		var proj []Point
+		for _, pt := range full {
+			proj = append(proj, Point{Period: pt.Period, Energy: pt.Energy})
+		}
+		wantFront := Filter(proj)
+		if len(front) != len(wantFront) {
+			t.Fatalf("trial %d (%v): frontier sizes differ: dp=%d oracle=%d\ndp=%v\noracle=%v",
+				trial, model, len(front), len(wantFront), points(front), points(wantFront))
+		}
+		for i := range front {
+			if !fmath.EQ(front[i].Period, wantFront[i].Period) || !fmath.EQ(front[i].Energy, wantFront[i].Energy) {
+				t.Fatalf("trial %d: point %d: dp (%g,%g) oracle (%g,%g)", trial, i,
+					front[i].Period, front[i].Energy, wantFront[i].Period, wantFront[i].Energy)
+			}
+		}
+		// Witness mappings achieve their points.
+		for i, pt := range front {
+			if !fmath.LE(mapping.Period(&inst, &pt.Mapping, model), pt.Period) {
+				t.Errorf("trial %d: witness %d misses its period", trial, i)
+			}
+			if !fmath.EQ(mapping.Energy(&inst, &pt.Mapping), pt.Energy) {
+				t.Errorf("trial %d: witness %d misses its energy", trial, i)
+			}
+		}
+	}
+}
+
+func points(ps []Point) [][2]float64 {
+	out := make([][2]float64, len(ps))
+	for i, p := range ps {
+		out[i] = [2]float64{p.Period, p.Energy}
+	}
+	return out
+}
+
+// TestPeriodEnergyOneToOneMatchesExhaustive does the same for the Theorem
+// 19 matching frontier on communication homogeneous platforms.
+func TestPeriodEnergyOneToOneMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 10; trial++ {
+		cfg := workload.Config{
+			Apps: 1, MinStages: 2, MaxStages: 3, Procs: 1, Modes: 2,
+			Class: pipeline.CommHomogeneous, MaxWork: 6, MaxData: 3, MaxSpeed: 6,
+		}
+		inst := workload.MustInstance(rng, cfg)
+		cfg.Procs = inst.TotalStages() + 1
+		inst.Platform = workload.Platform(rng, cfg)
+		front, err := PeriodEnergyOneToOneCommHom(&inst, pipeline.Overlap)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		full, err := exact.ParetoFront(&inst, mapping.OneToOne, pipeline.Overlap)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var proj []Point
+		for _, pt := range full {
+			proj = append(proj, Point{Period: pt.Period, Energy: pt.Energy})
+		}
+		wantFront := Filter(proj)
+		if len(front) != len(wantFront) {
+			t.Fatalf("trial %d: frontier sizes differ: %v vs %v", trial, points(front), points(wantFront))
+		}
+		for i := range front {
+			if !fmath.EQ(front[i].Period, wantFront[i].Period) || !fmath.EQ(front[i].Energy, wantFront[i].Energy) {
+				t.Fatalf("trial %d: point %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestLaptopAndServerQueries(t *testing.T) {
+	front := []Point{{Period: 1, Energy: 100}, {Period: 2, Energy: 40}, {Period: 5, Energy: 10}}
+	if got := MinEnergyUnderPeriod(front, 2); got != 40 {
+		t.Errorf("server(2) = %g, want 40", got)
+	}
+	if got := MinEnergyUnderPeriod(front, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("server(0.5) = %g, want +Inf", got)
+	}
+	if got := MinPeriodUnderEnergy(front, 45); got != 2 {
+		t.Errorf("laptop(45) = %g, want 2", got)
+	}
+	if got := MinPeriodUnderEnergy(front, 5); !math.IsInf(got, 1) {
+		t.Errorf("laptop(5) = %g, want +Inf", got)
+	}
+}
+
+// TestFrontierIsMonotone: period up, energy down along any frontier.
+func TestFrontierIsMonotone(t *testing.T) {
+	inst := workload.MustInstance(rand.New(rand.NewSource(73)), workload.Config{
+		Apps: 2, MinStages: 2, MaxStages: 4, Procs: 6, Modes: 3,
+		Class: pipeline.FullyHomogeneous, MaxWork: 9, MaxData: 4, MaxSpeed: 8,
+	})
+	front, err := PeriodEnergyFullyHom(&inst, pipeline.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Period <= front[i-1].Period || front[i].Energy >= front[i-1].Energy {
+			t.Errorf("frontier not monotone at %d: %v", i, points(front))
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON schema accepted by the cmd/ tools. A uniform bandwidth may be
+// given instead of full matrices; explicit matrices win when both appear.
+//
+//	{
+//	  "apps": [
+//	    {"name": "app1", "weight": 1, "in": 1,
+//	     "stages": [{"work": 3, "out": 3}, ...]}
+//	  ],
+//	  "platform": {
+//	    "processors": [{"name": "P1", "speeds": [3, 6]}, ...],
+//	    "uniformBandwidth": 1.0,
+//	    "bandwidth": [[...]], "inBandwidth": [[...]], "outBandwidth": [[...]]
+//	  },
+//	  "energy": {"static": 0, "alpha": 2}
+//	}
+type instanceJSON struct {
+	Apps     []appJSON   `json:"apps"`
+	Platform platJSON    `json:"platform"`
+	Energy   *energyJSON `json:"energy,omitempty"`
+}
+
+type appJSON struct {
+	Name   string      `json:"name,omitempty"`
+	Weight float64     `json:"weight,omitempty"`
+	In     float64     `json:"in"`
+	Stages []stageJSON `json:"stages"`
+}
+
+type stageJSON struct {
+	Work float64 `json:"work"`
+	Out  float64 `json:"out"`
+}
+
+type platJSON struct {
+	Processors       []procJSON  `json:"processors"`
+	UniformBandwidth float64     `json:"uniformBandwidth,omitempty"`
+	Bandwidth        [][]float64 `json:"bandwidth,omitempty"`
+	InBandwidth      [][]float64 `json:"inBandwidth,omitempty"`
+	OutBandwidth     [][]float64 `json:"outBandwidth,omitempty"`
+}
+
+type procJSON struct {
+	Name   string    `json:"name,omitempty"`
+	Speeds []float64 `json:"speeds"`
+}
+
+type energyJSON struct {
+	Static float64 `json:"static"`
+	Alpha  float64 `json:"alpha"`
+}
+
+// EncodeJSON writes the instance to w in the tool schema.
+func EncodeJSON(w io.Writer, in *Instance) error {
+	doc := instanceJSON{}
+	for i := range in.Apps {
+		a := &in.Apps[i]
+		aj := appJSON{Name: a.Name, Weight: a.Weight, In: a.In}
+		for _, st := range a.Stages {
+			aj.Stages = append(aj.Stages, stageJSON{Work: st.Work, Out: st.Out})
+		}
+		doc.Apps = append(doc.Apps, aj)
+	}
+	for i := range in.Platform.Processors {
+		pr := &in.Platform.Processors[i]
+		doc.Platform.Processors = append(doc.Platform.Processors, procJSON{Name: pr.Name, Speeds: pr.Speeds})
+	}
+	if b, ok := in.Platform.HomogeneousLinks(); ok {
+		doc.Platform.UniformBandwidth = b
+	} else {
+		doc.Platform.Bandwidth = in.Platform.Bandwidth
+		doc.Platform.InBandwidth = in.Platform.InBandwidth
+		doc.Platform.OutBandwidth = in.Platform.OutBandwidth
+	}
+	doc.Energy = &energyJSON{Static: in.Energy.Static, Alpha: in.Energy.alpha()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeJSON parses an instance from r and validates it.
+func DecodeJSON(r io.Reader) (Instance, error) {
+	var doc instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return Instance{}, fmt.Errorf("pipeline: decoding instance: %w", err)
+	}
+	var in Instance
+	for _, aj := range doc.Apps {
+		app := Application{Name: aj.Name, Weight: aj.Weight, In: aj.In}
+		for _, sj := range aj.Stages {
+			app.Stages = append(app.Stages, Stage{Work: sj.Work, Out: sj.Out})
+		}
+		in.Apps = append(in.Apps, app)
+	}
+	p := len(doc.Platform.Processors)
+	for _, pj := range doc.Platform.Processors {
+		in.Platform.Processors = append(in.Platform.Processors, Processor{Name: pj.Name, Speeds: pj.Speeds})
+	}
+	a := len(in.Apps)
+	if doc.Platform.Bandwidth != nil {
+		in.Platform.Bandwidth = doc.Platform.Bandwidth
+		in.Platform.InBandwidth = doc.Platform.InBandwidth
+		in.Platform.OutBandwidth = doc.Platform.OutBandwidth
+	} else {
+		b := doc.Platform.UniformBandwidth
+		if b == 0 {
+			b = 1
+		}
+		in.Platform.Bandwidth = uniformMatrix(p, p, b)
+		in.Platform.InBandwidth = uniformMatrix(a, p, b)
+		in.Platform.OutBandwidth = uniformMatrix(a, p, b)
+	}
+	if doc.Energy != nil {
+		in.Energy = EnergyModel{Static: doc.Energy.Static, Alpha: doc.Energy.Alpha}
+	} else {
+		in.Energy = DefaultEnergy
+	}
+	if err := in.Validate(); err != nil {
+		return Instance{}, err
+	}
+	return in, nil
+}

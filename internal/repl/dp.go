@@ -1,0 +1,254 @@
+package repl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algo/alloc"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// ErrWrongPlatform is returned when the algorithm's platform preconditions
+// fail.
+var ErrWrongPlatform = fmt.Errorf("repl: platform does not satisfy the algorithm's preconditions")
+
+// singleCurve computes, for one application on identical processors (speed
+// s, uniform bandwidth b), the minimal replicated period achievable with at
+// most q processors for q = 1..maxProcs, together with witness partitions.
+//
+// The dynamic program extends the chain-partition DP of Theorem 3 with a
+// replica-count choice: P[i][q] = min over split j and replica count k of
+// max(P[j][q-k], cost(j..i-1)/k). Replicas of an interval are identical
+// here (same speed), so only their count matters.
+func singleCurve(app *pipeline.Application, s, b float64, model pipeline.CommModel, maxProcs int) ([]float64, [][]Interval) {
+	n := app.NumStages()
+	pre := app.WorkPrefix()
+	comm := func(vol float64) float64 {
+		if vol == 0 {
+			return 0
+		}
+		return vol / b
+	}
+	cost := func(f, t int) float64 {
+		return mapping.IntervalCost(model, comm(app.InputSize(f)), (pre[t+1]-pre[f])/s, comm(app.OutputSize(t)))
+	}
+	// best[i][q]: minimal period for stages 0..i-1 using exactly q
+	// processors; choice records (split, replicas).
+	type choice struct{ j, k int }
+	best := make([][]float64, n+1)
+	ch := make([][]choice, n+1)
+	for i := range best {
+		best[i] = make([]float64, maxProcs+1)
+		ch[i] = make([]choice, maxProcs+1)
+		for q := range best[i] {
+			best[i][q] = math.Inf(1)
+		}
+	}
+	best[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for q := 1; q <= maxProcs; q++ {
+			for j := 0; j < i; j++ {
+				for k := 1; k <= q; k++ {
+					if math.IsInf(best[j][q-k], 1) {
+						continue
+					}
+					v := math.Max(best[j][q-k], cost(j, i-1)/float64(k))
+					if v < best[i][q] {
+						best[i][q] = v
+						ch[i][q] = choice{j, k}
+					}
+				}
+			}
+		}
+	}
+	curve := make([]float64, maxProcs)
+	parts := make([][]Interval, maxProcs)
+	bestV := math.Inf(1)
+	bestQ := 0
+	for q := 1; q <= maxProcs; q++ {
+		if best[n][q] < bestV {
+			bestV = best[n][q]
+			bestQ = q
+		}
+		curve[q-1] = bestV
+		// Backtrack the witness for the best exact count seen so far.
+		var ivs []Interval
+		i, qq := n, bestQ
+		for i > 0 {
+			c := ch[i][qq]
+			reps := make([]Replica, c.k)
+			ivs = append([]Interval{{From: c.j, To: i - 1, Replicas: reps}}, ivs...)
+			i, qq = c.j, qq-c.k
+		}
+		parts[q-1] = ivs
+	}
+	return curve, parts
+}
+
+// MinPeriodFullyHom minimizes the weighted global period over replicated
+// interval mappings on a fully homogeneous platform, combining the
+// replicated chain DP with the paper's Algorithm 2 processor allocation
+// (the per-application curves remain non-increasing in the processor
+// count, which is all Algorithm 2 needs). Processors run at their fastest
+// mode.
+func MinPeriodFullyHom(inst *pipeline.Instance, model pipeline.CommModel) (Mapping, float64, error) {
+	if inst.Platform.Classify() != pipeline.FullyHomogeneous {
+		return Mapping{}, 0, fmt.Errorf("%w: want fully homogeneous, have %v", ErrWrongPlatform, inst.Platform.Classify())
+	}
+	p := inst.Platform.NumProcessors()
+	if p < len(inst.Apps) {
+		return Mapping{}, 0, fmt.Errorf("%w: %d processors for %d applications", ErrWrongPlatform, p, len(inst.Apps))
+	}
+	s := inst.Platform.Processors[0].MaxSpeed()
+	topMode := inst.Platform.Processors[0].NumModes() - 1
+	b, _ := inst.Platform.HomogeneousLinks()
+	mx := p - len(inst.Apps) + 1
+	curves := make([][]float64, len(inst.Apps))
+	parts := make([][][]Interval, len(inst.Apps))
+	for a := range inst.Apps {
+		curve, ps := singleCurve(&inst.Apps[a], s, b, model, mx)
+		w := inst.Apps[a].EffectiveWeight()
+		for i := range curve {
+			curve[i] *= w
+		}
+		curves[a], parts[a] = curve, ps
+	}
+	counts, value := alloc.Allocate(curves, p)
+	rm := Mapping{Apps: make([]AppMapping, len(inst.Apps))}
+	next := 0
+	for a := range inst.Apps {
+		for _, iv := range parts[a][counts[a]-1] {
+			reps := make([]Replica, len(iv.Replicas))
+			for r := range reps {
+				reps[r] = Replica{Proc: next, Mode: topMode}
+				next++
+			}
+			rm.Apps[a].Intervals = append(rm.Apps[a].Intervals, Interval{From: iv.From, To: iv.To, Replicas: reps})
+		}
+	}
+	if err := rm.Validate(inst); err != nil {
+		return Mapping{}, 0, err
+	}
+	return rm, value, nil
+}
+
+// ExactMinPeriod exhaustively minimizes the weighted global period over
+// replicated interval mappings (any platform); exponential, for oracle use
+// on tiny instances. Processors run at their fastest modes (energy is not
+// a criterion).
+func ExactMinPeriod(inst *pipeline.Instance, model pipeline.CommModel, limit int64) (Mapping, float64, error) {
+	best := Mapping{}
+	bestV := math.Inf(1)
+	found := false
+	err := enumerate(inst, limit, func(rm *Mapping) error {
+		v := Period(inst, rm, model)
+		if !found || v < bestV {
+			best = rm.Clone()
+			bestV = v
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		return Mapping{}, 0, err
+	}
+	if !found {
+		return Mapping{}, 0, fmt.Errorf("repl: no valid replicated mapping")
+	}
+	return best, bestV, nil
+}
+
+// enumerate visits every replicated mapping at fastest modes. The visited
+// *Mapping is reused; clone to keep. The visitor may return an error to
+// abort the enumeration.
+func enumerate(inst *pipeline.Instance, limit int64, visit func(rm *Mapping) error) error {
+	e := &replEnum{
+		inst:  inst,
+		used:  make([]bool, inst.Platform.NumProcessors()),
+		rm:    Mapping{Apps: make([]AppMapping, len(inst.Apps))},
+		visit: visit,
+		left:  limit,
+	}
+	return e.app(0)
+}
+
+type replEnum struct {
+	inst  *pipeline.Instance
+	used  []bool
+	rm    Mapping
+	visit func(rm *Mapping) error
+	left  int64
+}
+
+func (e *replEnum) app(a int) error {
+	if a == len(e.inst.Apps) {
+		e.left--
+		if e.left < 0 {
+			return fmt.Errorf("repl: enumeration limit exceeded")
+		}
+		return e.visit(&e.rm)
+	}
+	return e.intervals(a, 0)
+}
+
+func (e *replEnum) intervals(a, from int) error {
+	n := e.inst.Apps[a].NumStages()
+	if from == n {
+		return e.app(a + 1)
+	}
+	remaining := len(e.inst.Apps) - a - 1
+	free := e.freeProcs()
+	if len(free) <= remaining {
+		return nil
+	}
+	maxReplicas := len(free) - remaining
+	for to := from; to < n; to++ {
+		// Choose a replica set: combinations of free processors, sizes
+		// 1..maxReplicas, in index order to avoid duplicates.
+		var combo []int
+		var rec func(startIdx int) error
+		rec = func(startIdx int) error {
+			if len(combo) >= 1 {
+				reps := make([]Replica, len(combo))
+				for i, u := range combo {
+					reps[i] = Replica{Proc: u, Mode: e.inst.Platform.Processors[u].NumModes() - 1}
+					e.used[u] = true
+				}
+				e.rm.Apps[a].Intervals = append(e.rm.Apps[a].Intervals, Interval{From: from, To: to, Replicas: reps})
+				if err := e.intervals(a, to+1); err != nil {
+					return err
+				}
+				e.rm.Apps[a].Intervals = e.rm.Apps[a].Intervals[:len(e.rm.Apps[a].Intervals)-1]
+				for _, u := range combo {
+					e.used[u] = false
+				}
+			}
+			if len(combo) == maxReplicas {
+				return nil
+			}
+			for i := startIdx; i < len(free); i++ {
+				combo = append(combo, free[i])
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+				combo = combo[:len(combo)-1]
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *replEnum) freeProcs() []int {
+	var out []int
+	for u, b := range e.used {
+		if !b {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/algo/alloc"
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// ErrInfeasible is returned when no replicated mapping satisfies the
+// bounds.
+var ErrInfeasible = errors.New("repl: no replicated mapping satisfies the bounds")
+
+// MinEnergyGivenPeriodFullyHom minimizes the total energy of a replicated
+// interval mapping subject to per-application period bounds on a fully
+// homogeneous multi-modal platform. It extends the Theorem 18 energy
+// dynamic program with a replica-count choice: a k-replica interval at
+// common mode s is feasible when its cycle time at s divided by k meets
+// the bound, and costs k*(Static + s^Alpha). Within a group all replicas
+// share the cheapest feasible mode — identical processors make mixed modes
+// pointless (each replica's cycle must individually fit within k times the
+// bound, so each independently picks the same cheapest feasible speed).
+// Applications are then combined with the Theorem 21 additive DP.
+//
+// Replication can strictly reduce energy here: several slow replicas may
+// meet a throughput target more cheaply than one fast processor whenever
+// alpha is steep (k * s^alpha < (k*s)^alpha).
+func MinEnergyGivenPeriodFullyHom(inst *pipeline.Instance, model pipeline.CommModel, periodBounds []float64) (Mapping, float64, error) {
+	if inst.Platform.Classify() != pipeline.FullyHomogeneous {
+		return Mapping{}, 0, fmt.Errorf("%w: want fully homogeneous, have %v", ErrWrongPlatform, inst.Platform.Classify())
+	}
+	p := inst.Platform.NumProcessors()
+	if p < len(inst.Apps) {
+		return Mapping{}, 0, fmt.Errorf("%w: %d processors for %d applications", ErrWrongPlatform, p, len(inst.Apps))
+	}
+	speeds := inst.Platform.Processors[0].Speeds
+	b, _ := inst.Platform.HomogeneousLinks()
+	mx := p - len(inst.Apps) + 1
+
+	curves := make([][]float64, len(inst.Apps))
+	parts := make([][][]Interval, len(inst.Apps))
+	for a := range inst.Apps {
+		curves[a], parts[a] = energyCurve(&inst.Apps[a], speeds, b, model, mx, periodBounds[a], inst.Energy)
+	}
+	counts, total, ok := alloc.CombineAdditive(curves, p)
+	if !ok {
+		return Mapping{}, 0, ErrInfeasible
+	}
+	rm := Mapping{Apps: make([]AppMapping, len(inst.Apps))}
+	next := 0
+	for a := range inst.Apps {
+		for _, iv := range parts[a][counts[a]-1] {
+			reps := make([]Replica, len(iv.Replicas))
+			for r := range reps {
+				reps[r] = Replica{Proc: next, Mode: iv.Replicas[r].Mode}
+				next++
+			}
+			rm.Apps[a].Intervals = append(rm.Apps[a].Intervals, Interval{From: iv.From, To: iv.To, Replicas: reps})
+		}
+	}
+	if err := rm.Validate(inst); err != nil {
+		return Mapping{}, 0, err
+	}
+	return rm, total, nil
+}
+
+// energyCurve computes, for one application, the minimal replicated energy
+// with at most q processors (q = 1..maxProcs) under the period bound, plus
+// witness partitions (replica Proc fields are placeholders; the caller
+// assigns real processors).
+func energyCurve(app *pipeline.Application, speeds []float64, b float64, model pipeline.CommModel, maxProcs int, bound float64, em pipeline.EnergyModel) ([]float64, [][]Interval) {
+	n := app.NumStages()
+	pre := app.WorkPrefix()
+	comm := func(vol float64) float64 {
+		if vol == 0 {
+			return 0
+		}
+		return vol / b
+	}
+	cost := func(f, t int, s float64) float64 {
+		return mapping.IntervalCost(model, comm(app.InputSize(f)), (pre[t+1]-pre[f])/s, comm(app.OutputSize(t)))
+	}
+	// bestGroup[f][t][k]: cheapest mode index for the interval [f,t] on k
+	// replicas, or -1. Cheapest feasible = slowest feasible (power grows
+	// with speed).
+	bestMode := func(f, t, k int) int {
+		for mode, s := range speeds {
+			if fmath.LE(cost(f, t, s)/float64(k), bound) {
+				return mode
+			}
+		}
+		return -1
+	}
+	type choice struct{ j, k, mode int }
+	eng := make([][]float64, n+1)
+	ch := make([][]choice, n+1)
+	for i := range eng {
+		eng[i] = make([]float64, maxProcs+1)
+		ch[i] = make([]choice, maxProcs+1)
+		for q := range eng[i] {
+			eng[i][q] = math.Inf(1)
+		}
+	}
+	eng[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for q := 1; q <= maxProcs; q++ {
+			for j := 0; j < i; j++ {
+				for k := 1; k <= q; k++ {
+					if math.IsInf(eng[j][q-k], 1) {
+						continue
+					}
+					mode := bestMode(j, i-1, k)
+					if mode < 0 {
+						continue
+					}
+					v := eng[j][q-k] + float64(k)*em.Power(speeds[mode])
+					if v < eng[i][q] {
+						eng[i][q] = v
+						ch[i][q] = choice{j, k, mode}
+					}
+				}
+			}
+		}
+	}
+	curve := make([]float64, maxProcs)
+	parts := make([][]Interval, maxProcs)
+	bestV := math.Inf(1)
+	bestQ := 0
+	for q := 1; q <= maxProcs; q++ {
+		if eng[n][q] < bestV {
+			bestV = eng[n][q]
+			bestQ = q
+		}
+		curve[q-1] = bestV
+		if bestQ == 0 {
+			continue
+		}
+		var ivs []Interval
+		i, qq := n, bestQ
+		for i > 0 {
+			c := ch[i][qq]
+			reps := make([]Replica, c.k)
+			for r := range reps {
+				reps[r].Mode = c.mode
+			}
+			ivs = append([]Interval{{From: c.j, To: i - 1, Replicas: reps}}, ivs...)
+			i, qq = c.j, qq-c.k
+		}
+		parts[q-1] = ivs
+	}
+	return curve, parts
+}
+
+// ExactMinEnergyGivenPeriod exhaustively minimizes the energy of replicated
+// mappings under per-application period bounds, enumerating every replica
+// set and every per-replica mode combination; oracle use only.
+func ExactMinEnergyGivenPeriod(inst *pipeline.Instance, model pipeline.CommModel, periodBounds []float64, limit int64) (Mapping, float64, error) {
+	best := Mapping{}
+	bestV := math.Inf(1)
+	found := false
+	err := enumerateModes(inst, limit, func(rm *Mapping) {
+		for a := range rm.Apps {
+			if !fmath.LE(AppPeriod(inst, rm, a, model), periodBounds[a]) {
+				return
+			}
+		}
+		v := Energy(inst, rm)
+		if !found || v < bestV {
+			best = rm.Clone()
+			bestV = v
+			found = true
+		}
+	})
+	if err != nil {
+		return Mapping{}, 0, err
+	}
+	if !found {
+		return Mapping{}, 0, ErrInfeasible
+	}
+	return best, bestV, nil
+}
+
+// enumerateModes is like enumerate but additionally varies every replica's
+// mode (exponential in both dimensions).
+func enumerateModes(inst *pipeline.Instance, limit int64, visit func(rm *Mapping)) error {
+	left := limit
+	return enumerate(inst, limit, func(rm *Mapping) error {
+		var flat []*Replica
+		for a := range rm.Apps {
+			for j := range rm.Apps[a].Intervals {
+				for r := range rm.Apps[a].Intervals[j].Replicas {
+					flat = append(flat, &rm.Apps[a].Intervals[j].Replicas[r])
+				}
+			}
+		}
+		var rec func(idx int) error
+		rec = func(idx int) error {
+			if idx == len(flat) {
+				left--
+				if left < 0 {
+					return fmt.Errorf("repl: enumeration limit exceeded")
+				}
+				visit(rm)
+				return nil
+			}
+			modes := inst.Platform.Processors[flat[idx].Proc].NumModes()
+			for mode := 0; mode < modes; mode++ {
+				flat[idx].Mode = mode
+				if err := rec(idx + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return rec(0)
+	})
+}

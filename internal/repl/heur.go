@@ -1,0 +1,308 @@
+package repl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/pipeline"
+)
+
+// Objective scores a replicated mapping; lower is better, +Inf infeasible.
+type Objective func(rm *Mapping) float64
+
+// HeurOptions tunes the replicated local search.
+type HeurOptions struct {
+	// Iters is the number of annealing steps per restart (default 4000).
+	Iters int
+	// Restarts is the number of independent searches (default 3).
+	Restarts int
+}
+
+func (o HeurOptions) withDefaults() HeurOptions {
+	if o.Iters <= 0 {
+		o.Iters = 4000
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	return o
+}
+
+// HeurMinPeriod heuristically minimizes the weighted global period over
+// replicated interval mappings on an arbitrary platform: simulated
+// annealing over the replicated neighbourhood (boundary shifts, splits,
+// merges, replica additions and removals, relocations, mode changes),
+// seeded with whole-application mappings on the fastest processors. It is
+// the heterogeneous-platform companion of MinPeriodFullyHom, whose problem
+// is NP-hard once processors differ (the plain interval case already is,
+// and replication only enlarges the search space).
+func HeurMinPeriod(rng *rand.Rand, inst *pipeline.Instance, model pipeline.CommModel, opt HeurOptions) (Mapping, float64, error) {
+	obj := func(rm *Mapping) float64 { return Period(inst, rm, model) }
+	return Minimize(rng, inst, obj, opt)
+}
+
+// Minimize runs the replicated annealer on an arbitrary objective.
+func Minimize(rng *rand.Rand, inst *pipeline.Instance, obj Objective, opt HeurOptions) (Mapping, float64, error) {
+	opt = opt.withDefaults()
+	p := inst.Platform.NumProcessors()
+	if p < len(inst.Apps) {
+		return Mapping{}, 0, fmt.Errorf("repl: %d processors cannot host %d applications", p, len(inst.Apps))
+	}
+	var best Mapping
+	bestV := math.Inf(1)
+	have := false
+	for r := 0; r < opt.Restarts; r++ {
+		cur := initialRepl(rng, inst, r)
+		curV := obj(&cur)
+		scale := math.Abs(curV)
+		if scale == 0 || math.IsInf(scale, 1) {
+			scale = 1
+		}
+		t0, t1 := 0.2*scale, 1e-4*scale
+		cool := math.Pow(t1/t0, 1/math.Max(1, float64(opt.Iters-1)))
+		temp := t0
+		localBest := cur.Clone()
+		localV := curV
+		for i := 0; i < opt.Iters; i++ {
+			cand := cur.Clone()
+			if !mutateRepl(rng, inst, &cand) {
+				temp *= cool
+				continue
+			}
+			v := obj(&cand)
+			accept := false
+			switch {
+			case math.IsInf(v, 1):
+			case v <= curV:
+				accept = true
+			case !math.IsInf(curV, 1):
+				accept = rng.Float64() < math.Exp((curV-v)/temp)
+			default:
+				accept = true
+			}
+			if accept {
+				cur, curV = cand, v
+				if v < localV {
+					localBest, localV = cand.Clone(), v
+				}
+			}
+			temp *= cool
+		}
+		if !have || localV < bestV {
+			best, bestV, have = localBest, localV, true
+		}
+	}
+	if !have {
+		return Mapping{}, 0, fmt.Errorf("repl: no mapping constructed")
+	}
+	return best, bestV, nil
+}
+
+// initialRepl builds a starting replicated mapping: each application whole
+// on one processor (fastest first on round 0, shuffled later).
+func initialRepl(rng *rand.Rand, inst *pipeline.Instance, round int) Mapping {
+	p := inst.Platform.NumProcessors()
+	procs := make([]int, p)
+	for i := range procs {
+		procs[i] = i
+	}
+	if round == 0 {
+		// Fastest first.
+		for i := 1; i < p; i++ {
+			for j := i; j > 0 && inst.Platform.Processors[procs[j]].MaxSpeed() > inst.Platform.Processors[procs[j-1]].MaxSpeed(); j-- {
+				procs[j], procs[j-1] = procs[j-1], procs[j]
+			}
+		}
+	} else {
+		rng.Shuffle(p, func(i, j int) { procs[i], procs[j] = procs[j], procs[i] })
+	}
+	rm := Mapping{Apps: make([]AppMapping, len(inst.Apps))}
+	for a := range inst.Apps {
+		u := procs[a]
+		rm.Apps[a].Intervals = []Interval{{
+			From: 0, To: inst.Apps[a].NumStages() - 1,
+			Replicas: []Replica{{Proc: u, Mode: inst.Platform.Processors[u].NumModes() - 1}},
+		}}
+	}
+	return rm
+}
+
+// mutateRepl applies one random neighbourhood move; false when the drawn
+// move was inapplicable. All moves preserve validity.
+func mutateRepl(rng *rand.Rand, inst *pipeline.Instance, rm *Mapping) bool {
+	switch rng.Intn(7) {
+	case 0:
+		return moveReplMode(rng, inst, rm)
+	case 1:
+		return moveReplRelocate(rng, inst, rm)
+	case 2:
+		return moveReplAdd(rng, inst, rm)
+	case 3:
+		return moveReplRemove(rng, rm)
+	case 4:
+		return moveReplBoundary(rng, rm)
+	case 5:
+		return moveReplSplit(rng, inst, rm)
+	default:
+		return moveReplMerge(rng, rm)
+	}
+}
+
+func pickInterval(rng *rand.Rand, rm *Mapping) (int, int) {
+	total := 0
+	for a := range rm.Apps {
+		total += len(rm.Apps[a].Intervals)
+	}
+	i := rng.Intn(total)
+	for a := range rm.Apps {
+		if i < len(rm.Apps[a].Intervals) {
+			return a, i
+		}
+		i -= len(rm.Apps[a].Intervals)
+	}
+	panic("unreachable")
+}
+
+func freeReplProcs(inst *pipeline.Instance, rm *Mapping) []int {
+	used := make([]bool, inst.Platform.NumProcessors())
+	for a := range rm.Apps {
+		for _, iv := range rm.Apps[a].Intervals {
+			for _, r := range iv.Replicas {
+				used[r.Proc] = true
+			}
+		}
+	}
+	var out []int
+	for u, b := range used {
+		if !b {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func moveReplMode(rng *rand.Rand, inst *pipeline.Instance, rm *Mapping) bool {
+	a, j := pickInterval(rng, rm)
+	iv := &rm.Apps[a].Intervals[j]
+	r := &iv.Replicas[rng.Intn(len(iv.Replicas))]
+	modes := inst.Platform.Processors[r.Proc].NumModes()
+	if modes == 1 {
+		return false
+	}
+	delta := 1
+	if rng.Intn(2) == 0 {
+		delta = -1
+	}
+	nm := r.Mode + delta
+	if nm < 0 || nm >= modes {
+		nm = r.Mode - delta
+	}
+	if nm < 0 || nm >= modes {
+		return false
+	}
+	r.Mode = nm
+	return true
+}
+
+func moveReplRelocate(rng *rand.Rand, inst *pipeline.Instance, rm *Mapping) bool {
+	free := freeReplProcs(inst, rm)
+	if len(free) == 0 {
+		return false
+	}
+	a, j := pickInterval(rng, rm)
+	iv := &rm.Apps[a].Intervals[j]
+	r := &iv.Replicas[rng.Intn(len(iv.Replicas))]
+	u := free[rng.Intn(len(free))]
+	r.Proc = u
+	r.Mode = rng.Intn(inst.Platform.Processors[u].NumModes())
+	return true
+}
+
+func moveReplAdd(rng *rand.Rand, inst *pipeline.Instance, rm *Mapping) bool {
+	free := freeReplProcs(inst, rm)
+	if len(free) == 0 {
+		return false
+	}
+	a, j := pickInterval(rng, rm)
+	u := free[rng.Intn(len(free))]
+	rm.Apps[a].Intervals[j].Replicas = append(rm.Apps[a].Intervals[j].Replicas,
+		Replica{Proc: u, Mode: rng.Intn(inst.Platform.Processors[u].NumModes())})
+	return true
+}
+
+func moveReplRemove(rng *rand.Rand, rm *Mapping) bool {
+	a, j := pickInterval(rng, rm)
+	iv := &rm.Apps[a].Intervals[j]
+	if len(iv.Replicas) < 2 {
+		return false
+	}
+	k := rng.Intn(len(iv.Replicas))
+	iv.Replicas = append(iv.Replicas[:k], iv.Replicas[k+1:]...)
+	return true
+}
+
+func moveReplBoundary(rng *rand.Rand, rm *Mapping) bool {
+	a, j := pickInterval(rng, rm)
+	ivs := rm.Apps[a].Intervals
+	if len(ivs) < 2 {
+		return false
+	}
+	if j == len(ivs)-1 {
+		j--
+	}
+	left, right := &ivs[j], &ivs[j+1]
+	if rng.Intn(2) == 0 {
+		if right.Len() <= 1 {
+			return false
+		}
+		left.To++
+		right.From++
+	} else {
+		if left.Len() <= 1 {
+			return false
+		}
+		left.To--
+		right.From--
+	}
+	return true
+}
+
+func moveReplSplit(rng *rand.Rand, inst *pipeline.Instance, rm *Mapping) bool {
+	free := freeReplProcs(inst, rm)
+	if len(free) == 0 {
+		return false
+	}
+	a, j := pickInterval(rng, rm)
+	ivs := rm.Apps[a].Intervals
+	iv := ivs[j]
+	if iv.Len() < 2 {
+		return false
+	}
+	cut := iv.From + rng.Intn(iv.Len()-1)
+	u := free[rng.Intn(len(free))]
+	right := Interval{From: cut + 1, To: iv.To,
+		Replicas: []Replica{{Proc: u, Mode: rng.Intn(inst.Platform.Processors[u].NumModes())}}}
+	ivs[j].To = cut
+	rm.Apps[a].Intervals = append(ivs[:j+1], append([]Interval{right}, ivs[j+1:]...)...)
+	return true
+}
+
+func moveReplMerge(rng *rand.Rand, rm *Mapping) bool {
+	a, j := pickInterval(rng, rm)
+	ivs := rm.Apps[a].Intervals
+	if len(ivs) < 2 {
+		return false
+	}
+	if j == len(ivs)-1 {
+		j--
+	}
+	keep := ivs[j]
+	if rng.Intn(2) == 1 {
+		keep = ivs[j+1]
+	}
+	merged := Interval{From: ivs[j].From, To: ivs[j+1].To,
+		Replicas: append([]Replica(nil), keep.Replicas...)}
+	rm.Apps[a].Intervals = append(ivs[:j], append([]Interval{merged}, ivs[j+2:]...)...)
+	return true
+}

@@ -1,0 +1,241 @@
+// Package sim executes a mapping dataset-by-dataset and measures the
+// observed steady-state period and per-dataset latency. It is the runtime
+// substrate that validates the closed-form expressions of Equations 3-5:
+// the ASAP schedule enabled by interval mappings (Section 3.3) must achieve
+// exactly the analytic period and latency.
+//
+// # Execution model
+//
+// Every placed interval is a node. For dataset t, node j must
+//
+//  1. receive its input from node j-1 (or from the application's virtual
+//     input processor for j = 0),
+//  2. compute for (sum of stage works)/speed time units,
+//  3. send its output to node j+1 (or to the virtual output processor).
+//
+// Under the overlap model the three operations of a node proceed in
+// parallel across datasets, constrained by one incoming transfer, one
+// computation and one outgoing transfer at a time (the one-port model of
+// Section 3.2). A transfer occupies the link between the two nodes, so the
+// "out" resource of node j and the "in" resource of node j+1 are one and
+// the same edge; each edge and each CPU is therefore a unit-capacity
+// resource used once per dataset.
+//
+// Under the no-overlap model a node's processor serializes receive, compute
+// and send of each dataset in program order, and a transfer is a rendezvous
+// that occupies the sending and the receiving processor simultaneously for
+// volume/bandwidth time units. This is exactly the single-threaded
+// semantics behind Equation 4: every transfer is counted in the cycle time
+// of both endpoints but takes wall-clock time once, which also keeps the
+// latency (Equation 5) identical across the two models.
+//
+// Because the execution graph of an interval mapping is a linear chain and
+// operations are issued in dataset order, the ASAP schedule is computed by
+// a direct recurrence over (dataset, node) rather than a general event
+// queue; this is exact and O(datasets x nodes).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// Result reports the measured behaviour of one application.
+type Result struct {
+	// FirstLatency is the completion time of dataset 0, which enters a
+	// fully idle pipeline: it must equal Equation 5's latency.
+	FirstLatency float64
+	// SteadyPeriod is the averaged inter-departure time of the last half
+	// of the simulated datasets: it converges to the analytic period.
+	SteadyPeriod float64
+	// Departures[t] is the time dataset t's result reaches the virtual
+	// output processor.
+	Departures []float64
+	// MaxLatency is the largest completion-minus-release time over all
+	// datasets. Releases all happen at time 0 under saturation, so this
+	// grows linearly; it is reported for completeness.
+	MaxLatency float64
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Datasets is the number of data sets pushed through each
+	// application. Defaults to 10*(nodes+2)+50, enough for the ASAP
+	// schedule to reach its steady state.
+	Datasets int
+	// ReleaseInterval spaces out arrivals: data set t becomes available at
+	// the virtual input processor at time t * ReleaseInterval. The default
+	// 0 saturates the pipeline (all data sets available at time 0), which
+	// is how the steady-state period is measured; a large spacing makes
+	// every data set traverse an empty pipeline, which exposes per-path
+	// latencies.
+	ReleaseInterval float64
+}
+
+// Simulate runs every application of the instance under mapping m and the
+// given communication model. Applications do not interact (no processor is
+// shared), so they are simulated independently.
+func Simulate(inst *pipeline.Instance, m *mapping.Mapping, model pipeline.CommModel, opt Options) ([]Result, error) {
+	if err := m.Validate(inst, mapping.Interval); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	out := make([]Result, len(inst.Apps))
+	for a := range inst.Apps {
+		out[a] = simulateApp(inst, m, a, model, opt)
+	}
+	return out, nil
+}
+
+// nodeParams precomputes, for each node of one application's chain, its
+// compute time and the transfer times of its input and output edges.
+type nodeParams struct {
+	inTime   float64 // duration of the transfer on the node's input edge
+	compTime float64
+	outTime  float64 // duration of the transfer on the node's output edge
+}
+
+func appNodes(inst *pipeline.Instance, m *mapping.Mapping, a int) []nodeParams {
+	app := &inst.Apps[a]
+	ivs := m.Apps[a].Intervals
+	nodes := make([]nodeParams, len(ivs))
+	for j, iv := range ivs {
+		speed := inst.Platform.Processors[iv.Proc].Speeds[iv.Mode]
+		nodes[j].compTime = app.IntervalWork(iv.From, iv.To) / speed
+		inVol := app.InputSize(iv.From)
+		if j == 0 {
+			nodes[j].inTime = div(inVol, inst.Platform.InLink(a, iv.Proc))
+		} else {
+			nodes[j].inTime = div(inVol, inst.Platform.Link(ivs[j-1].Proc, iv.Proc))
+		}
+		outVol := app.OutputSize(iv.To)
+		if j == len(ivs)-1 {
+			nodes[j].outTime = div(outVol, inst.Platform.OutLink(a, iv.Proc))
+		} else {
+			nodes[j].outTime = div(outVol, inst.Platform.Link(iv.Proc, ivs[j+1].Proc))
+		}
+	}
+	return nodes
+}
+
+func div(vol, bw float64) float64 {
+	if vol == 0 {
+		return 0
+	}
+	return vol / bw
+}
+
+func simulateApp(inst *pipeline.Instance, m *mapping.Mapping, a int, model pipeline.CommModel, opt Options) Result {
+	nodes := appNodes(inst, m, a)
+	nn := len(nodes)
+	k := opt.Datasets
+	if k <= 0 {
+		k = 10*(nn+2) + 50
+	}
+	departures := make([]float64, k)
+	switch model {
+	case pipeline.Overlap:
+		simulateOverlap(nodes, departures, opt.ReleaseInterval)
+	default:
+		simulateNoOverlap(nodes, departures, opt.ReleaseInterval)
+	}
+	res := Result{Departures: departures, FirstLatency: departures[0]}
+	for t, d := range departures {
+		res.MaxLatency = math.Max(res.MaxLatency, d-float64(t)*opt.ReleaseInterval)
+	}
+	if k >= 2 {
+		half := k / 2
+		res.SteadyPeriod = (departures[k-1] - departures[half-1]) / float64(k-half)
+	}
+	return res
+}
+
+// simulateOverlap computes the ASAP schedule under the overlap model.
+// Resources: edge j (input of node j; edge nn is the final output edge) and
+// cpu j, each a unit-capacity FIFO resource.
+func simulateOverlap(nodes []nodeParams, departures []float64, release float64) {
+	nn := len(nodes)
+	edgeFree := make([]float64, nn+1) // edge j feeds node j; edge nn feeds P_out
+	cpuFree := make([]float64, nn)
+	for t := range departures {
+		// Dataset t is available at the virtual input processor at
+		// t * release (0 under saturation).
+		ready := float64(t) * release
+		for j := 0; j < nn; j++ {
+			// Input transfer on edge j.
+			start := math.Max(ready, edgeFree[j])
+			end := start + nodes[j].inTime
+			edgeFree[j] = end
+			// Computation.
+			cstart := math.Max(end, cpuFree[j])
+			cend := cstart + nodes[j].compTime
+			cpuFree[j] = cend
+			ready = cend
+		}
+		// Final transfer to the virtual output processor.
+		start := math.Max(ready, edgeFree[nn])
+		end := start + nodes[nn-1].outTime
+		edgeFree[nn] = end
+		departures[t] = end
+	}
+}
+
+// simulateNoOverlap computes the ASAP schedule under the no-overlap model:
+// each node's processor executes receive(t), compute(t), send(t) in program
+// order, and each inter-node transfer is a rendezvous holding both endpoint
+// processors. The virtual input/output processors are always ready, so the
+// first receive and the last send only hold the real endpoint.
+//
+// The sequential scan below is the exact ASAP schedule: datasets are
+// processed in order and, within a dataset, operations in chain order,
+// which is precisely each processor's program order.
+func simulateNoOverlap(nodes []nodeParams, departures []float64, release float64) {
+	nn := len(nodes)
+	free := make([]float64, nn)
+	for t := range departures {
+		for j := 0; j < nn; j++ {
+			// Receive: joint with node j-1 (its send of dataset t), or
+			// with the virtual input (which holds data set t from
+			// t * release on) for j = 0.
+			start := free[j]
+			if j == 0 {
+				start = math.Max(start, float64(t)*release)
+			} else {
+				start = math.Max(start, free[j-1])
+			}
+			end := start + nodes[j].inTime
+			if j > 0 {
+				free[j-1] = end
+			}
+			// Compute.
+			end += nodes[j].compTime
+			free[j] = end
+		}
+		// Send of the last node to the always-ready virtual output.
+		departures[t] = free[nn-1] + nodes[nn-1].outTime
+		free[nn-1] = departures[t]
+	}
+}
+
+// Verify simulates mapping m and compares the measured first-dataset
+// latency and steady-state period of every application against the analytic
+// formulas, returning a descriptive error on any disagreement beyond tol.
+func Verify(inst *pipeline.Instance, m *mapping.Mapping, model pipeline.CommModel, tol float64) error {
+	results, err := Simulate(inst, m, model, Options{})
+	if err != nil {
+		return err
+	}
+	for a, r := range results {
+		wantT := mapping.AppPeriod(inst, m, a, model)
+		wantL := mapping.AppLatency(inst, m, a)
+		if math.Abs(r.FirstLatency-wantL) > tol*math.Max(1, wantL) {
+			return fmt.Errorf("sim: app %d latency: measured %g, analytic %g (model %v)", a, r.FirstLatency, wantL, model)
+		}
+		if math.Abs(r.SteadyPeriod-wantT) > tol*math.Max(1, wantT) {
+			return fmt.Errorf("sim: app %d period: measured %g, analytic %g (model %v)", a, r.SteadyPeriod, wantT, model)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func motivatingMappings() (pipeline.Instance, []mapping.Mapping) {
+	inst := pipeline.MotivatingExample()
+	ms := []mapping.Mapping{
+		{Apps: []mapping.AppMapping{ // period optimal
+			{Intervals: []mapping.PlacedInterval{{From: 0, To: 2, Proc: 2, Mode: 1}}},
+			{Intervals: []mapping.PlacedInterval{{From: 0, To: 1, Proc: 1, Mode: 1}, {From: 2, To: 3, Proc: 0, Mode: 1}}},
+		}},
+		{Apps: []mapping.AppMapping{ // latency optimal
+			{Intervals: []mapping.PlacedInterval{{From: 0, To: 2, Proc: 0, Mode: 1}}},
+			{Intervals: []mapping.PlacedInterval{{From: 0, To: 3, Proc: 1, Mode: 1}}},
+		}},
+		{Apps: []mapping.AppMapping{ // trade-off
+			{Intervals: []mapping.PlacedInterval{{From: 0, To: 2, Proc: 0, Mode: 0}}},
+			{Intervals: []mapping.PlacedInterval{{From: 0, To: 2, Proc: 1, Mode: 0}, {From: 3, To: 3, Proc: 2, Mode: 0}}},
+		}},
+	}
+	return inst, ms
+}
+
+func TestSimulatorMatchesAnalyticOnMotivatingExample(t *testing.T) {
+	inst, ms := motivatingMappings()
+	for i, m := range ms {
+		for _, model := range []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap} {
+			if err := Verify(&inst, &m, model, 1e-9); err != nil {
+				t.Errorf("mapping %d under %v: %v", i, model, err)
+			}
+		}
+	}
+}
+
+func TestSimulatorPeriodOptimalNumbers(t *testing.T) {
+	inst, ms := motivatingMappings()
+	results, err := Simulate(&inst, &ms[0], pipeline.Overlap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, r := range results {
+		if math.Abs(r.SteadyPeriod-1) > 1e-9 {
+			t.Errorf("app %d measured period %g, want 1 (Equation 1)", a, r.SteadyPeriod)
+		}
+	}
+	// Latency-optimal mapping: dataset 0 of app2 completes at 2.75.
+	results, err = Simulate(&inst, &ms[1], pipeline.Overlap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(results[1].FirstLatency-2.75) > 1e-9 {
+		t.Errorf("app2 measured latency %g, want 2.75 (Equation 2)", results[1].FirstLatency)
+	}
+}
+
+func TestSimulatorDeparturesMonotone(t *testing.T) {
+	inst, ms := motivatingMappings()
+	for _, model := range []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap} {
+		results, err := Simulate(&inst, &ms[2], model, Options{Datasets: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, r := range results {
+			if len(r.Departures) != 40 {
+				t.Fatalf("app %d: %d departures, want 40", a, len(r.Departures))
+			}
+			for i := 1; i < len(r.Departures); i++ {
+				if r.Departures[i] < r.Departures[i-1] {
+					t.Errorf("app %d: departures not monotone at %d", a, i)
+				}
+			}
+			if r.MaxLatency < r.FirstLatency {
+				t.Errorf("app %d: max latency below first latency", a)
+			}
+		}
+	}
+}
+
+func TestSimulatorRejectsInvalidMapping(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	bad := mapping.Mapping{Apps: []mapping.AppMapping{{}}}
+	if _, err := Simulate(&inst, &bad, pipeline.Overlap, Options{}); err == nil {
+		t.Error("invalid mapping accepted")
+	}
+}
+
+// TestSimulatorMatchesAnalyticRandom is the central substrate validation:
+// on hundreds of random instances and random mappings across all platform
+// classes, the ASAP execution must reproduce Equations 3-5 exactly.
+func TestSimulatorMatchesAnalyticRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	classes := []pipeline.Class{pipeline.FullyHomogeneous, pipeline.CommHomogeneous, pipeline.FullyHeterogeneous}
+	for trial := 0; trial < 300; trial++ {
+		cfg := workload.Config{
+			Apps:      1 + rng.Intn(3),
+			MinStages: 1, MaxStages: 6,
+			Procs: 3 + rng.Intn(6), Modes: 1 + rng.Intn(3),
+			Class:   classes[trial%len(classes)],
+			MaxWork: 9, MaxData: 6, MaxSpeed: 7, MaxBandwidth: 4,
+		}
+		if cfg.Procs < cfg.Apps {
+			cfg.Procs = cfg.Apps
+		}
+		inst := workload.MustInstance(rng, cfg)
+		m, err := workload.RandomMapping(rng, &inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, model := range []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap} {
+			if err := Verify(&inst, &m, model, 1e-9); err != nil {
+				t.Fatalf("trial %d (%v, class %v): %v\nmapping: %v", trial, model, cfg.Class, err, m.String())
+			}
+		}
+	}
+}
+
+func TestSimulatorStreamingPreset(t *testing.T) {
+	inst := workload.StreamingCenter(8)
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	m, err := workload.RandomMapping(rng, &inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(&inst, &m, pipeline.Overlap, 1e-9); err != nil {
+		t.Error(err)
+	}
+	if err := Verify(&inst, &m, pipeline.NoOverlap, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoOverlapSlowerThanOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		inst := workload.MustInstance(rng, workload.DefaultConfig())
+		m, err := workload.RandomMapping(rng, &inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, _ := Simulate(&inst, &m, pipeline.Overlap, Options{})
+		rn, _ := Simulate(&inst, &m, pipeline.NoOverlap, Options{})
+		for a := range ro {
+			if ro[a].SteadyPeriod > rn[a].SteadyPeriod+1e-9 {
+				t.Errorf("trial %d app %d: overlap period %g exceeds no-overlap %g", trial, a, ro[a].SteadyPeriod, rn[a].SteadyPeriod)
+			}
+		}
+	}
+}

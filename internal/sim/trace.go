@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// OpKind classifies a scheduled operation.
+type OpKind int
+
+const (
+	// OpTransfer is a data transfer along an edge (including the virtual
+	// input and output edges).
+	OpTransfer OpKind = iota
+	// OpCompute is an interval computation on a processor.
+	OpCompute
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if k == OpCompute {
+		return "compute"
+	}
+	return "transfer"
+}
+
+// Op is one scheduled operation of the ASAP execution: the Gantt-chart
+// building block.
+type Op struct {
+	Kind OpKind
+	// Node is the interval index within the application's chain; for
+	// transfers it identifies the receiving node (Node == number of nodes
+	// marks the final transfer to the virtual output).
+	Node int
+	// Dataset is the data set index.
+	Dataset int
+	// Resource names the unit-capacity resource the operation occupies:
+	// "edge:<j>" or "cpu:<j>" under the overlap model, "proc:<j>" under
+	// the no-overlap model (rendezvous transfers occupy two).
+	Resources []string
+	Start     float64
+	End       float64
+}
+
+// Trace is the full schedule of one application.
+type Trace struct {
+	Ops []Op
+}
+
+// TraceRun simulates mapping m recording every operation. It is the
+// explicit-schedule counterpart of Simulate, used to audit the ASAP
+// execution (no resource conflicts, correct precedences).
+func TraceRun(inst *pipeline.Instance, m *mapping.Mapping, a int, model pipeline.CommModel, datasets int) (Trace, error) {
+	if err := m.Validate(inst, mapping.Interval); err != nil {
+		return Trace{}, fmt.Errorf("sim: %w", err)
+	}
+	nodes := appNodes(inst, m, a)
+	nn := len(nodes)
+	if datasets <= 0 {
+		datasets = 20
+	}
+	var tr Trace
+	if model == pipeline.Overlap {
+		edgeFree := make([]float64, nn+1)
+		cpuFree := make([]float64, nn)
+		for t := 0; t < datasets; t++ {
+			ready := 0.0
+			for j := 0; j < nn; j++ {
+				start := math.Max(ready, edgeFree[j])
+				end := start + nodes[j].inTime
+				edgeFree[j] = end
+				tr.Ops = append(tr.Ops, Op{Kind: OpTransfer, Node: j, Dataset: t,
+					Resources: []string{fmt.Sprintf("edge:%d", j)}, Start: start, End: end})
+				cstart := math.Max(end, cpuFree[j])
+				cend := cstart + nodes[j].compTime
+				cpuFree[j] = cend
+				tr.Ops = append(tr.Ops, Op{Kind: OpCompute, Node: j, Dataset: t,
+					Resources: []string{fmt.Sprintf("cpu:%d", j)}, Start: cstart, End: cend})
+				ready = cend
+			}
+			start := math.Max(ready, edgeFree[nn])
+			end := start + nodes[nn-1].outTime
+			edgeFree[nn] = end
+			tr.Ops = append(tr.Ops, Op{Kind: OpTransfer, Node: nn, Dataset: t,
+				Resources: []string{fmt.Sprintf("edge:%d", nn)}, Start: start, End: end})
+		}
+		return tr, nil
+	}
+	free := make([]float64, nn)
+	for t := 0; t < datasets; t++ {
+		for j := 0; j < nn; j++ {
+			start := free[j]
+			res := []string{fmt.Sprintf("proc:%d", j)}
+			if j > 0 {
+				start = math.Max(start, free[j-1])
+				res = append(res, fmt.Sprintf("proc:%d", j-1))
+			}
+			end := start + nodes[j].inTime
+			if j > 0 {
+				free[j-1] = end
+			}
+			tr.Ops = append(tr.Ops, Op{Kind: OpTransfer, Node: j, Dataset: t, Resources: res, Start: start, End: end})
+			cend := end + nodes[j].compTime
+			free[j] = cend
+			tr.Ops = append(tr.Ops, Op{Kind: OpCompute, Node: j, Dataset: t,
+				Resources: []string{fmt.Sprintf("proc:%d", j)}, Start: end, End: cend})
+		}
+		start := free[nn-1]
+		end := start + nodes[nn-1].outTime
+		free[nn-1] = end
+		tr.Ops = append(tr.Ops, Op{Kind: OpTransfer, Node: nn, Dataset: t,
+			Resources: []string{fmt.Sprintf("proc:%d", nn-1)}, Start: start, End: end})
+	}
+	return tr, nil
+}
+
+// CheckConsistency audits a trace: no two operations overlap on any
+// unit-capacity resource, every data set's operations form a precedence
+// chain, and operations on a resource run in data-set order.
+func (tr Trace) CheckConsistency() error {
+	// Resource exclusivity.
+	byRes := map[string][]Op{}
+	for _, op := range tr.Ops {
+		for _, r := range op.Resources {
+			byRes[r] = append(byRes[r], op)
+		}
+	}
+	for res, ops := range byRes {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+		for i := 1; i < len(ops); i++ {
+			if ops[i].Start < ops[i-1].End-1e-9 {
+				return fmt.Errorf("sim: resource %s double-booked: [%g,%g] overlaps [%g,%g]",
+					res, ops[i-1].Start, ops[i-1].End, ops[i].Start, ops[i].End)
+			}
+		}
+	}
+	// Precedence within each data set: ops sorted by (node, kind) must be
+	// non-decreasing in time.
+	byDS := map[int][]Op{}
+	maxDS := 0
+	for _, op := range tr.Ops {
+		byDS[op.Dataset] = append(byDS[op.Dataset], op)
+		if op.Dataset > maxDS {
+			maxDS = op.Dataset
+		}
+	}
+	for ds, ops := range byDS {
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].Node != ops[j].Node {
+				return ops[i].Node < ops[j].Node
+			}
+			return ops[i].Kind == OpTransfer && ops[j].Kind == OpCompute
+		})
+		for i := 1; i < len(ops); i++ {
+			if ops[i].Start < ops[i-1].End-1e-9 {
+				return fmt.Errorf("sim: data set %d precedence violated between %v@%d and %v@%d",
+					ds, ops[i-1].Kind, ops[i-1].Node, ops[i].Kind, ops[i].Node)
+			}
+		}
+	}
+	return nil
+}
+
+// Makespan returns the completion time of the last operation.
+func (tr Trace) Makespan() float64 {
+	var end float64
+	for _, op := range tr.Ops {
+		end = math.Max(end, op.End)
+	}
+	return end
+}
+
+// BusyTime returns the total busy time of one resource.
+func (tr Trace) BusyTime(resource string) float64 {
+	var busy float64
+	for _, op := range tr.Ops {
+		for _, r := range op.Resources {
+			if r == resource {
+				busy += op.End - op.Start
+			}
+		}
+	}
+	return busy
+}

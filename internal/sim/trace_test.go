@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestTraceConsistencyRandom audits the explicit ASAP schedules on random
+// instances: unit-capacity resources never double-booked, data-set
+// precedences respected, and the trace agrees with Simulate's departures.
+func TestTraceConsistencyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		cfg := workload.DefaultConfig()
+		cfg.Class = []pipeline.Class{pipeline.FullyHomogeneous, pipeline.CommHomogeneous, pipeline.FullyHeterogeneous}[trial%3]
+		inst := workload.MustInstance(rng, cfg)
+		m, err := workload.RandomMapping(rng, &inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap} {
+			for a := range inst.Apps {
+				tr, err := TraceRun(&inst, &m, a, model, 25)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.CheckConsistency(); err != nil {
+					t.Fatalf("trial %d app %d (%v): %v", trial, a, model, err)
+				}
+				// The trace's final transfers are Simulate's departures.
+				results, err := Simulate(&inst, &m, model, Options{Datasets: 25})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nn := len(m.Apps[a].Intervals)
+				for _, op := range tr.Ops {
+					if op.Kind == OpTransfer && op.Node == nn {
+						if math.Abs(op.End-results[a].Departures[op.Dataset]) > 1e-9 {
+							t.Fatalf("trial %d: trace departure %g vs simulate %g", trial, op.End, results[a].Departures[op.Dataset])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceBottleneckUtilization: in steady state the bottleneck resource
+// is busy almost all the time; its busy time over the makespan approaches
+// its cycle time over the period.
+func TestTraceBottleneckUtilization(t *testing.T) {
+	inst := pipeline.Instance{
+		Apps: []pipeline.Application{{
+			Stages: []pipeline.Stage{{Work: 1, Out: 1}, {Work: 8, Out: 1}},
+			In:     1, Weight: 1,
+		}},
+		Platform: pipeline.NewHomogeneousPlatform(2, []float64{1}, 1, 1),
+		Energy:   pipeline.DefaultEnergy,
+	}
+	m := mapping.Mapping{Apps: []mapping.AppMapping{{Intervals: []mapping.PlacedInterval{
+		{From: 0, To: 0, Proc: 0, Mode: 0},
+		{From: 1, To: 1, Proc: 1, Mode: 0},
+	}}}}
+	tr, err := TraceRun(&inst, &m, 0, pipeline.Overlap, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// cpu:1 is the bottleneck (8 per data set, period 8).
+	busy := tr.BusyTime("cpu:1")
+	if busy != 200*8 {
+		t.Errorf("bottleneck busy time = %g, want 1600", busy)
+	}
+	util := busy / tr.Makespan()
+	if util < 0.99 {
+		t.Errorf("bottleneck utilization = %g, want ~1", util)
+	}
+}
+
+func TestTraceRejectsInvalid(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	bad := mapping.Mapping{Apps: []mapping.AppMapping{{}}}
+	if _, err := TraceRun(&inst, &bad, 0, pipeline.Overlap, 5); err == nil {
+		t.Error("invalid mapping accepted")
+	}
+}
+
+func TestCheckConsistencyDetectsViolations(t *testing.T) {
+	overlapping := Trace{Ops: []Op{
+		{Kind: OpCompute, Node: 0, Dataset: 0, Resources: []string{"cpu:0"}, Start: 0, End: 5},
+		{Kind: OpCompute, Node: 0, Dataset: 1, Resources: []string{"cpu:0"}, Start: 3, End: 8},
+	}}
+	if err := overlapping.CheckConsistency(); err == nil {
+		t.Error("double-booked resource not detected")
+	}
+	backwards := Trace{Ops: []Op{
+		{Kind: OpTransfer, Node: 0, Dataset: 0, Resources: []string{"edge:0"}, Start: 5, End: 6},
+		{Kind: OpCompute, Node: 0, Dataset: 0, Resources: []string{"cpu:0"}, Start: 0, End: 2},
+	}}
+	if err := backwards.CheckConsistency(); err == nil {
+		t.Error("precedence violation not detected")
+	}
+	if OpCompute.String() != "compute" || OpTransfer.String() != "transfer" {
+		t.Error("op kind strings")
+	}
+}

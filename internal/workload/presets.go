@@ -1,0 +1,85 @@
+package workload
+
+import "repro/internal/pipeline"
+
+// The presets below model the streaming workloads the paper's introduction
+// motivates (video/audio coding, DSP, image processing). Works and data
+// sizes are in abstract operation and data units; their ratios follow the
+// usual shape of these pipelines (a heavy transform surrounded by lighter
+// glue stages).
+
+// VideoEncoding returns an H.26x-like encoder chain: capture, preprocess,
+// motion estimation (dominant), DCT+quantize, entropy coding.
+func VideoEncoding(name string) pipeline.Application {
+	return pipeline.Application{
+		Name:   name,
+		In:     8,
+		Weight: 1,
+		Stages: []pipeline.Stage{
+			{Work: 2, Out: 8},  // capture / colour conversion
+			{Work: 4, Out: 8},  // preprocessing, denoise
+			{Work: 16, Out: 4}, // motion estimation
+			{Work: 6, Out: 2},  // DCT + quantization
+			{Work: 3, Out: 1},  // entropy coding
+		},
+	}
+}
+
+// AudioFilterBank returns a DSP chain: windowing, FFT, per-band filtering,
+// inverse FFT, framing.
+func AudioFilterBank(name string) pipeline.Application {
+	return pipeline.Application{
+		Name:   name,
+		In:     2,
+		Weight: 1,
+		Stages: []pipeline.Stage{
+			{Work: 1, Out: 2},
+			{Work: 5, Out: 2}, // FFT
+			{Work: 3, Out: 2}, // filter bank
+			{Work: 5, Out: 2}, // inverse FFT
+			{Work: 1, Out: 1},
+		},
+	}
+}
+
+// ImageAnalysis returns an image-processing chain: decode, segment, feature
+// extraction (dominant), classify.
+func ImageAnalysis(name string) pipeline.Application {
+	return pipeline.Application{
+		Name:   name,
+		In:     6,
+		Weight: 1,
+		Stages: []pipeline.Stage{
+			{Work: 3, Out: 6},
+			{Work: 8, Out: 3},
+			{Work: 12, Out: 1},
+			{Work: 2, Out: 1},
+		},
+	}
+}
+
+// StreamingCenter returns a concurrent instance mixing the three preset
+// applications on a communication homogeneous cluster of p processors with
+// three DVFS modes each, the scenario a computer-center platform manager
+// faces in Section 3.3.
+func StreamingCenter(p int) pipeline.Instance {
+	apps := []pipeline.Application{
+		VideoEncoding("video"),
+		AudioFilterBank("audio"),
+		ImageAnalysis("image"),
+	}
+	sets := make([][]float64, p)
+	for i := range sets {
+		// Alternate big/little speed sets to model a mixed cluster.
+		if i%2 == 0 {
+			sets[i] = []float64{2, 4, 8}
+		} else {
+			sets[i] = []float64{1, 2, 4}
+		}
+	}
+	return pipeline.Instance{
+		Apps:     apps,
+		Platform: pipeline.NewCommHomogeneousPlatform(sets, 4, len(apps)),
+		Energy:   pipeline.EnergyModel{Static: 1, Alpha: 2},
+	}
+}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pipeline"
+	"repro/internal/repl"
+)
+
+// RandomReplicated draws a random valid replicated mapping of inst: a
+// random interval partition per application, with some of the leftover
+// processors handed out as extra replicas of random intervals at random
+// modes.
+func RandomReplicated(rng *rand.Rand, inst *pipeline.Instance) (repl.Mapping, error) {
+	base, err := RandomMapping(rng, inst)
+	if err != nil {
+		return repl.Mapping{}, err
+	}
+	rm := repl.Lift(&base)
+	used := map[int]bool{}
+	for _, u := range rm.UsedProcessors() {
+		used[u] = true
+	}
+	var free []int
+	for u := 0; u < inst.Platform.NumProcessors(); u++ {
+		if !used[u] {
+			free = append(free, u)
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for _, u := range free {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		a := rng.Intn(len(rm.Apps))
+		j := rng.Intn(len(rm.Apps[a].Intervals))
+		mode := rng.Intn(inst.Platform.Processors[u].NumModes())
+		rm.Apps[a].Intervals[j].Replicas = append(rm.Apps[a].Intervals[j].Replicas, repl.Replica{Proc: u, Mode: mode})
+	}
+	if err := rm.Validate(inst); err != nil {
+		return repl.Mapping{}, fmt.Errorf("workload: generated invalid replicated mapping: %w", err)
+	}
+	return rm, nil
+}

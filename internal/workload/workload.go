@@ -1,0 +1,249 @@
+// Package workload generates random and realistic problem instances and
+// random valid mappings. All generators take an explicit *rand.Rand so
+// experiments are reproducible from a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// Config parameterizes random instance generation.
+type Config struct {
+	// Apps is the number of concurrent applications A.
+	Apps int
+	// MinStages and MaxStages bound each application's chain length.
+	MinStages, MaxStages int
+	// Procs is the number of processors p.
+	Procs int
+	// Modes is the number of DVFS modes per processor (1 for uni-modal).
+	Modes int
+	// Class selects the platform heterogeneity level.
+	Class pipeline.Class
+	// MaxWork bounds stage computation requirements (integers in
+	// [1, MaxWork]).
+	MaxWork int
+	// MaxData bounds data sizes (integers in [0, MaxData]). Zero disables
+	// communication entirely.
+	MaxData int
+	// MaxSpeed bounds processor speeds (integers in [1, MaxSpeed]).
+	MaxSpeed int
+	// MaxBandwidth bounds link bandwidths for fully heterogeneous
+	// platforms (integers in [1, MaxBandwidth]); homogeneous classes use
+	// bandwidth 1... unless Bandwidth is set.
+	MaxBandwidth int
+	// Bandwidth, if non-zero, is the uniform bandwidth for homogeneous
+	// link classes.
+	Bandwidth float64
+	// Energy is the energy model; zero value means Static 0, Alpha 2.
+	Energy pipeline.EnergyModel
+}
+
+// DefaultConfig returns a mid-size mixed workload configuration.
+func DefaultConfig() Config {
+	return Config{
+		Apps: 2, MinStages: 2, MaxStages: 5,
+		Procs: 8, Modes: 3, Class: pipeline.CommHomogeneous,
+		MaxWork: 10, MaxData: 5, MaxSpeed: 8, MaxBandwidth: 4,
+		Bandwidth: 1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Apps < 1 || c.Procs < 1 || c.Modes < 1 {
+		return fmt.Errorf("workload: Apps, Procs and Modes must be positive (%+v)", c)
+	}
+	if c.MinStages < 1 || c.MaxStages < c.MinStages {
+		return fmt.Errorf("workload: invalid stage bounds [%d,%d]", c.MinStages, c.MaxStages)
+	}
+	if c.MaxWork < 1 || c.MaxSpeed < 1 {
+		return fmt.Errorf("workload: MaxWork and MaxSpeed must be positive")
+	}
+	return nil
+}
+
+// Instance generates a random instance from the configuration.
+func Instance(rng *rand.Rand, c Config) (pipeline.Instance, error) {
+	if err := c.validate(); err != nil {
+		return pipeline.Instance{}, err
+	}
+	inst := pipeline.Instance{Energy: c.Energy}
+	for a := 0; a < c.Apps; a++ {
+		n := c.MinStages
+		if c.MaxStages > c.MinStages {
+			n += rng.Intn(c.MaxStages - c.MinStages + 1)
+		}
+		inst.Apps = append(inst.Apps, Application(rng, fmt.Sprintf("app%d", a+1), n, c.MaxWork, c.MaxData))
+	}
+	inst.Platform = Platform(rng, c)
+	if err := inst.Validate(); err != nil {
+		return pipeline.Instance{}, fmt.Errorf("workload: generated invalid instance: %w", err)
+	}
+	return inst, nil
+}
+
+// MustInstance is Instance, panicking on error; convenient in tests and
+// benchmarks where the config is a literal.
+func MustInstance(rng *rand.Rand, c Config) pipeline.Instance {
+	inst, err := Instance(rng, c)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Application generates one random chain of n stages with integer works in
+// [1, maxWork] and integer data sizes in [0, maxData].
+func Application(rng *rand.Rand, name string, n, maxWork, maxData int) pipeline.Application {
+	app := pipeline.Application{Name: name, Weight: 1}
+	if maxData > 0 {
+		app.In = float64(rng.Intn(maxData + 1))
+	}
+	for i := 0; i < n; i++ {
+		st := pipeline.Stage{Work: float64(1 + rng.Intn(maxWork))}
+		if maxData > 0 {
+			st.Out = float64(rng.Intn(maxData + 1))
+		}
+		app.Stages = append(app.Stages, st)
+	}
+	return app
+}
+
+// Platform generates a random platform of the configured class.
+func Platform(rng *rand.Rand, c Config) pipeline.Platform {
+	b := c.Bandwidth
+	if b == 0 {
+		b = 1
+	}
+	switch c.Class {
+	case pipeline.FullyHomogeneous:
+		return pipeline.NewHomogeneousPlatform(c.Procs, speedSet(rng, c.Modes, c.MaxSpeed), b, c.Apps)
+	case pipeline.CommHomogeneous:
+		sets := make([][]float64, c.Procs)
+		for i := range sets {
+			sets[i] = speedSet(rng, c.Modes, c.MaxSpeed)
+		}
+		return pipeline.NewCommHomogeneousPlatform(sets, b, c.Apps)
+	default:
+		sets := make([][]float64, c.Procs)
+		for i := range sets {
+			sets[i] = speedSet(rng, c.Modes, c.MaxSpeed)
+		}
+		maxBW := c.MaxBandwidth
+		if maxBW < 1 {
+			maxBW = 4
+		}
+		bw := make([][]float64, c.Procs)
+		for u := range bw {
+			bw[u] = make([]float64, c.Procs)
+		}
+		for u := 0; u < c.Procs; u++ {
+			for v := u + 1; v < c.Procs; v++ {
+				x := float64(1 + rng.Intn(maxBW))
+				bw[u][v], bw[v][u] = x, x
+			}
+		}
+		in := make([][]float64, c.Apps)
+		out := make([][]float64, c.Apps)
+		for a := 0; a < c.Apps; a++ {
+			in[a] = make([]float64, c.Procs)
+			out[a] = make([]float64, c.Procs)
+			for u := 0; u < c.Procs; u++ {
+				in[a][u] = float64(1 + rng.Intn(maxBW))
+				out[a][u] = float64(1 + rng.Intn(maxBW))
+			}
+		}
+		return pipeline.NewHeterogeneousPlatform(sets, bw, in, out)
+	}
+}
+
+// speedSet draws `modes` distinct speeds from [1, maxSpeed] (with graceful
+// degradation when maxSpeed < modes) and returns them ascending.
+func speedSet(rng *rand.Rand, modes, maxSpeed int) []float64 {
+	seen := map[int]bool{}
+	var out []float64
+	for len(out) < modes {
+		s := 1 + rng.Intn(maxSpeed)
+		if seen[s] && maxSpeed >= modes {
+			continue
+		}
+		seen[s] = true
+		out = append(out, float64(s))
+	}
+	// Insertion sort: mode sets are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RandomMapping generates a uniformly random valid interval mapping of inst:
+// each application is split into a random number of intervals and assigned
+// random distinct processors at random modes. It returns an error when the
+// platform has fewer processors than applications.
+func RandomMapping(rng *rand.Rand, inst *pipeline.Instance) (mapping.Mapping, error) {
+	p := inst.Platform.NumProcessors()
+	if p < len(inst.Apps) {
+		return mapping.Mapping{}, fmt.Errorf("workload: %d processors cannot host %d applications", p, len(inst.Apps))
+	}
+	perm := rng.Perm(p)
+	next := 0
+	m := mapping.Mapping{Apps: make([]mapping.AppMapping, len(inst.Apps))}
+	// First decide interval counts so the total fits within p.
+	counts := make([]int, len(inst.Apps))
+	budget := p - len(inst.Apps) // reserve one processor per application
+	for a := range inst.Apps {
+		n := inst.Apps[a].NumStages()
+		maxIv := n
+		if maxIv > budget+1 {
+			maxIv = budget + 1
+		}
+		counts[a] = 1 + rng.Intn(maxIv)
+		budget -= counts[a] - 1
+	}
+	for a := range inst.Apps {
+		n := inst.Apps[a].NumStages()
+		cuts := randomComposition(rng, n, counts[a])
+		from := 0
+		for _, size := range cuts {
+			proc := perm[next]
+			next++
+			mode := rng.Intn(inst.Platform.Processors[proc].NumModes())
+			m.Apps[a].Intervals = append(m.Apps[a].Intervals, mapping.PlacedInterval{
+				From: from, To: from + size - 1, Proc: proc, Mode: mode,
+			})
+			from += size
+		}
+	}
+	if err := m.Validate(inst, mapping.Interval); err != nil {
+		return mapping.Mapping{}, fmt.Errorf("workload: generated invalid mapping: %w", err)
+	}
+	return m, nil
+}
+
+// randomComposition splits n into k positive parts uniformly at random.
+func randomComposition(rng *rand.Rand, n, k int) []int {
+	// Choose k-1 distinct cut points in [1, n-1].
+	cutSet := map[int]bool{}
+	for len(cutSet) < k-1 {
+		cutSet[1+rng.Intn(n-1)] = true
+	}
+	cuts := make([]int, 0, k+1)
+	cuts = append(cuts, 0)
+	for c := 1; c < n; c++ {
+		if cutSet[c] {
+			cuts = append(cuts, c)
+		}
+	}
+	cuts = append(cuts, n)
+	parts := make([]int, 0, k)
+	for i := 1; i < len(cuts); i++ {
+		parts = append(parts, cuts[i]-cuts[i-1])
+	}
+	return parts
+}

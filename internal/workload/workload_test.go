@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+func TestInstanceGeneratorClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, cls := range []pipeline.Class{pipeline.FullyHomogeneous, pipeline.CommHomogeneous, pipeline.FullyHeterogeneous} {
+		cfg := DefaultConfig()
+		cfg.Class = cls
+		for trial := 0; trial < 20; trial++ {
+			inst := MustInstance(rng, cfg)
+			if err := inst.Validate(); err != nil {
+				t.Fatalf("%v trial %d: %v", cls, trial, err)
+			}
+			got := inst.Platform.Classify()
+			// A random "heterogeneous" draw can come out homogeneous by
+			// chance; the class may only be *less* heterogeneous than
+			// requested, never more.
+			if got > cls {
+				t.Errorf("%v trial %d: generated class %v exceeds requested", cls, trial, got)
+			}
+		}
+	}
+}
+
+func TestInstanceGeneratorRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	cfg := Config{
+		Apps: 3, MinStages: 2, MaxStages: 5, Procs: 7, Modes: 3,
+		Class: pipeline.CommHomogeneous, MaxWork: 4, MaxData: 2, MaxSpeed: 5,
+	}
+	for trial := 0; trial < 30; trial++ {
+		inst := MustInstance(rng, cfg)
+		if len(inst.Apps) != 3 || inst.Platform.NumProcessors() != 7 {
+			t.Fatal("shape mismatch")
+		}
+		for _, app := range inst.Apps {
+			if app.NumStages() < 2 || app.NumStages() > 5 {
+				t.Errorf("stage count %d out of bounds", app.NumStages())
+			}
+			for _, st := range app.Stages {
+				if st.Work < 1 || st.Work > 4 {
+					t.Errorf("work %g out of bounds", st.Work)
+				}
+				if st.Out < 0 || st.Out > 2 {
+					t.Errorf("data %g out of bounds", st.Out)
+				}
+			}
+		}
+		for _, pr := range inst.Platform.Processors {
+			if pr.NumModes() != 3 {
+				t.Errorf("mode count %d", pr.NumModes())
+			}
+			for i := 1; i < 3; i++ {
+				if pr.Speeds[i] <= pr.Speeds[i-1] {
+					t.Errorf("speeds not strictly ascending: %v", pr.Speeds)
+				}
+			}
+		}
+	}
+}
+
+func TestInstanceGeneratorRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	bad := []Config{
+		{Apps: 0, MinStages: 1, MaxStages: 1, Procs: 1, Modes: 1, MaxWork: 1, MaxSpeed: 1},
+		{Apps: 1, MinStages: 0, MaxStages: 1, Procs: 1, Modes: 1, MaxWork: 1, MaxSpeed: 1},
+		{Apps: 1, MinStages: 3, MaxStages: 2, Procs: 1, Modes: 1, MaxWork: 1, MaxSpeed: 1},
+		{Apps: 1, MinStages: 1, MaxStages: 1, Procs: 1, Modes: 1, MaxWork: 0, MaxSpeed: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Instance(rng, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRandomMappingValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 200; trial++ {
+		cfg := DefaultConfig()
+		cfg.Apps = 1 + rng.Intn(3)
+		cfg.Procs = cfg.Apps + rng.Intn(6)
+		inst := MustInstance(rng, cfg)
+		m, err := RandomMapping(rng, &inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := m.Validate(&inst, mapping.Interval); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRandomMappingTooFewProcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	inst := pipeline.Instance{
+		Apps: []pipeline.Application{
+			pipeline.NewUniformApplication("a", 2, 1),
+			pipeline.NewUniformApplication("b", 2, 1),
+		},
+		Platform: pipeline.NewHomogeneousPlatform(1, []float64{1}, 1, 2),
+		Energy:   pipeline.DefaultEnergy,
+	}
+	if _, err := RandomMapping(rng, &inst); err == nil {
+		t.Error("undersized platform accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, app := range []pipeline.Application{VideoEncoding("v"), AudioFilterBank("a"), ImageAnalysis("i")} {
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+	}
+	inst := StreamingCenter(8)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Platform.Classify() != pipeline.CommHomogeneous {
+		t.Errorf("streaming center class = %v", inst.Platform.Classify())
+	}
+	if len(inst.Apps) != 3 {
+		t.Errorf("streaming center apps = %d", len(inst.Apps))
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := MustInstance(rand.New(rand.NewSource(7)), DefaultConfig())
+	b := MustInstance(rand.New(rand.NewSource(7)), DefaultConfig())
+	if a.Apps[0].Stages[0].Work != b.Apps[0].Stages[0].Work {
+		t.Error("generator not deterministic for equal seeds")
+	}
+}
