@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench experiments clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is what CI runs: formatting, static analysis, full test suite.
+check: fmt vet test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# race runs the race detector over the concurrent packages: the batch
+# engine and its consumers (pareto sweeps, the experiment table drivers,
+# the public SolveBatch API).
+race:
+	$(GO) test -race ./internal/batch/ ./internal/pareto/ ./internal/experiments/ .
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# experiments regenerates the paper-versus-measured record (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/pipebench
+
+clean:
+	$(GO) clean ./...

@@ -1,6 +1,6 @@
 package repro
 
-// Ablation benchmarks for the design choices called out in DESIGN.md and
+// Ablation benchmarks for the design choices called out in EXPERIMENTS.md and
 // the future-work extensions: replication versus plain interval mappings,
 // general mappings versus interval mappings, the heuristic's components
 // (greedy construction alone, annealing budgets), and the candidate-set

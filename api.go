@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/algo/exact"
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/general"
 	"repro/internal/mapping"
@@ -115,6 +116,35 @@ var (
 // dispatching per the paper's complexity tables (see package core).
 func Solve(inst *Instance, req Request) (Result, error) {
 	return core.Solve(inst, req)
+}
+
+// Batch solving types (see internal/batch).
+type (
+	// Job is one batch solver invocation: an instance plus a request.
+	Job = batch.Job
+	// BatchOptions configures SolveBatch (worker count, shared cache).
+	BatchOptions = batch.Options
+	// BatchResult pairs one job's Result with its error.
+	BatchResult = batch.JobResult
+	// BatchStats aggregates a SolveBatch call: cache hits, errors,
+	// per-method counts and wall time.
+	BatchStats = batch.Stats
+	// SolveCache memoizes solver results across SolveBatch calls.
+	SolveCache = batch.Cache
+)
+
+// NewSolveCache returns an empty memoization cache that can be shared by
+// successive SolveBatch calls (and by concurrent ones: it is safe for
+// concurrent use).
+func NewSolveCache() *SolveCache { return batch.NewCache() }
+
+// SolveBatch solves every job concurrently on a bounded worker pool,
+// deduplicating identical jobs through a canonical-key memoization cache,
+// and returns per-job results in input order plus aggregate statistics.
+// Each result is bit-identical to what sequential Solve returns for the
+// same job; a failing job only poisons its own slot.
+func SolveBatch(jobs []Job, opts BatchOptions) ([]BatchResult, BatchStats) {
+	return batch.Solve(jobs, opts)
 }
 
 // UniformBounds turns a single global weighted threshold X into the

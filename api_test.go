@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/fmath"
@@ -33,6 +34,55 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	mt := Evaluate(&inst, &res.Mapping, Overlap)
 	if !fmath.LE(mt.Period, 2) {
 		t.Errorf("period bound violated: %g", mt.Period)
+	}
+}
+
+// TestPublicAPISolveBatch checks the acceptance criterion of the batch
+// engine: SolveBatch returns bit-identical Results to sequential Solve for
+// the same jobs, in input order, and reports its dedup work in the stats.
+func TestPublicAPISolveBatch(t *testing.T) {
+	fig1 := MotivatingExample()
+	stream := StreamingCenter(6)
+	jobs := []Job{
+		{Inst: &fig1, Req: Request{Rule: Interval, Model: Overlap, Objective: Period}},
+		{Inst: &fig1, Req: Request{Rule: Interval, Model: Overlap, Objective: Energy,
+			PeriodBounds: UniformBounds(&fig1, 2)}},
+		{Inst: &stream, Req: Request{Rule: Interval, Objective: Period,
+			ExactLimit: 50_000, HeurIters: 800, HeurRestarts: 1}},
+		{Inst: &fig1, Req: Request{Rule: Interval, Model: Overlap, Objective: Period}}, // dup of job 0
+		{Inst: &fig1, Req: Request{Rule: Interval, Model: Overlap, Objective: Latency}},
+	}
+	results, stats := SolveBatch(jobs, BatchOptions{})
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, job := range jobs {
+		want, wantErr := Solve(job.Inst, job.Req)
+		if !errors.Is(results[i].Err, wantErr) {
+			t.Fatalf("job %d: error %v, sequential %v", i, results[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(results[i].Result, want) {
+			t.Errorf("job %d: batch result differs from sequential Solve", i)
+		}
+	}
+	if stats.CacheHits < 1 {
+		t.Errorf("CacheHits = %d, want >= 1 (job 3 duplicates job 0)", stats.CacheHits)
+	}
+	if stats.Errors != 0 {
+		t.Errorf("Errors = %d, want 0", stats.Errors)
+	}
+
+	// A shared cache answers a rerun entirely from memory.
+	cache := NewSolveCache()
+	if _, first := SolveBatch(jobs, BatchOptions{Cache: cache}); first.Jobs != len(jobs) {
+		t.Fatal("bad stats from cached batch")
+	}
+	_, second := SolveBatch(jobs, BatchOptions{Cache: cache})
+	if second.CacheHits != len(jobs) {
+		t.Errorf("rerun CacheHits = %d, want %d", second.CacheHits, len(jobs))
 	}
 }
 

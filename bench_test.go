@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per reproduced artifact (see DESIGN.md's per-experiment
+// One benchmark per reproduced artifact (see EXPERIMENTS.md's per-experiment
 // index). The polynomial cells are benchmarked across sizes so their
 // polynomial wall-clock growth is visible next to the exponential growth of
 // the exhaustive solver on the NP-hard cells; `go test -bench=. -benchmem`

@@ -1,0 +1,253 @@
+// Command pipebatch solves many mapping problems in one shot on the
+// concurrent batch engine (repro.SolveBatch): it reads a JSON job file,
+// fans the jobs across a bounded worker pool with duplicate-job
+// memoization, and emits one JSON document with the per-job results (in
+// input order) and the aggregate batch statistics.
+//
+// Usage:
+//
+//	pipebatch -in jobs.json [-workers 8] [-no-dedup]
+//
+// The job file holds an optional default instance plus a list of jobs;
+// each job may carry its own instance (overriding the default) and a
+// request:
+//
+//	{
+//	  "instance": { ... pipegen/pipemap instance schema ... },
+//	  "jobs": [
+//	    {"request": {"rule": "interval", "model": "overlap",
+//	                 "objective": "energy", "periodBound": 2}},
+//	    {"request": {"rule": "interval", "objective": "period"}},
+//	    {"instance": { ... }, "request": {"objective": "latency",
+//	                                      "latencyBounds": [3, 4]}}
+//	  ]
+//	}
+//
+// Request fields: rule (one-to-one | interval, default interval), model
+// (overlap | no-overlap, default overlap), objective (period | latency |
+// energy, default period), periodBound / latencyBound (global weighted
+// thresholds expanded to per-application bounds as X / W_a),
+// periodBounds / latencyBounds (explicit per-application arrays, which
+// win over the global forms), energyBudget, seed, exactLimit, heurIters,
+// heurRestarts.
+//
+// The output document mirrors the job order:
+//
+//	{
+//	  "results": [
+//	    {"value": 46, "method": "...", "optimal": true,
+//	     "period": 2, "latency": 5, "energy": 46, "mapping": {...}},
+//	    {"error": "core: no mapping satisfies the bounds"}
+//	  ],
+//	  "stats": {"jobs": 2, "cacheHits": 0, "errors": 1,
+//	            "wallMs": 1.62, "methods": {"...": 1}}
+//	}
+//
+// pipebatch exits non-zero on malformed input; per-job solver failures are
+// reported in the results array and do not abort the batch.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pipebatch:", err)
+		os.Exit(1)
+	}
+}
+
+// jobFileJSON is the top-level input schema.
+type jobFileJSON struct {
+	// Instance is the default instance, used by jobs without their own.
+	Instance json.RawMessage `json:"instance,omitempty"`
+	Jobs     []jobJSON       `json:"jobs"`
+}
+
+type jobJSON struct {
+	Instance json.RawMessage `json:"instance,omitempty"`
+	Request  requestJSON     `json:"request"`
+}
+
+type requestJSON struct {
+	Rule          string    `json:"rule,omitempty"`
+	Model         string    `json:"model,omitempty"`
+	Objective     string    `json:"objective,omitempty"`
+	PeriodBound   float64   `json:"periodBound,omitempty"`
+	LatencyBound  float64   `json:"latencyBound,omitempty"`
+	PeriodBounds  []float64 `json:"periodBounds,omitempty"`
+	LatencyBounds []float64 `json:"latencyBounds,omitempty"`
+	EnergyBudget  float64   `json:"energyBudget,omitempty"`
+	Seed          int64     `json:"seed,omitempty"`
+	ExactLimit    int64     `json:"exactLimit,omitempty"`
+	HeurIters     int       `json:"heurIters,omitempty"`
+	HeurRestarts  int       `json:"heurRestarts,omitempty"`
+}
+
+// resultJSON is one output slot; Error excludes the solver fields.
+type resultJSON struct {
+	Value   float64          `json:"value,omitempty"`
+	Method  string           `json:"method,omitempty"`
+	Optimal bool             `json:"optimal,omitempty"`
+	Period  float64          `json:"period,omitempty"`
+	Latency float64          `json:"latency,omitempty"`
+	Energy  float64          `json:"energy,omitempty"`
+	Mapping *json.RawMessage `json:"mapping,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+type statsJSON struct {
+	Jobs      int            `json:"jobs"`
+	CacheHits int            `json:"cacheHits"`
+	Errors    int            `json:"errors"`
+	WallMs    float64        `json:"wallMs"`
+	Methods   map[string]int `json:"methods"`
+}
+
+type outputJSON struct {
+	Results []resultJSON `json:"results"`
+	Stats   statsJSON    `json:"stats"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pipebatch", flag.ContinueOnError)
+	in := fs.String("in", "", "job file JSON (default: stdin)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	noDedup := fs.Bool("no-dedup", false, "disable duplicate-job memoization")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var doc jobFileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("decoding job file: %w", err)
+	}
+	if len(doc.Jobs) == 0 {
+		return fmt.Errorf("job file has no jobs")
+	}
+
+	var defaultInst *pipeline.Instance
+	if doc.Instance != nil {
+		inst, err := pipeline.DecodeJSON(bytes.NewReader(doc.Instance))
+		if err != nil {
+			return fmt.Errorf("default instance: %w", err)
+		}
+		defaultInst = &inst
+	}
+	jobs := make([]batch.Job, len(doc.Jobs))
+	for i, jj := range doc.Jobs {
+		inst := defaultInst
+		if jj.Instance != nil {
+			dec, err := pipeline.DecodeJSON(bytes.NewReader(jj.Instance))
+			if err != nil {
+				return fmt.Errorf("job %d instance: %w", i, err)
+			}
+			inst = &dec
+		}
+		if inst == nil {
+			return fmt.Errorf("job %d has no instance and no default is set", i)
+		}
+		req, err := buildRequest(inst, jj.Request)
+		if err != nil {
+			return fmt.Errorf("job %d: %w", i, err)
+		}
+		jobs[i] = batch.Job{Inst: inst, Req: req}
+	}
+
+	results, stats := batch.Solve(jobs, batch.Options{Workers: *workers, NoDedup: *noDedup})
+
+	out := outputJSON{Stats: statsJSON{
+		Jobs:      stats.Jobs,
+		CacheHits: stats.CacheHits,
+		Errors:    stats.Errors,
+		WallMs:    float64(stats.Wall.Microseconds()) / 1000,
+		Methods:   make(map[string]int, len(stats.Methods)),
+	}}
+	for m, n := range stats.Methods {
+		out.Stats.Methods[string(m)] = n
+	}
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			out.Results = append(out.Results, resultJSON{Error: err.Error()})
+			continue
+		}
+		res := &results[i].Result
+		var buf bytes.Buffer
+		if err := mapping.EncodeJSON(&buf, &res.Mapping); err != nil {
+			return err
+		}
+		raw := json.RawMessage(buf.Bytes())
+		out.Results = append(out.Results, resultJSON{
+			Value:   res.Value,
+			Method:  string(res.Method),
+			Optimal: res.Optimal,
+			Period:  res.Metrics.Period,
+			Latency: res.Metrics.Latency,
+			Energy:  res.Metrics.Energy,
+			Mapping: &raw,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// buildRequest translates the JSON request into a core.Request, expanding
+// the global weighted thresholds into per-application bounds.
+func buildRequest(inst *pipeline.Instance, rj requestJSON) (core.Request, error) {
+	req := core.Request{
+		EnergyBudget: rj.EnergyBudget,
+		Seed:         rj.Seed,
+		ExactLimit:   rj.ExactLimit,
+		HeurIters:    rj.HeurIters,
+		HeurRestarts: rj.HeurRestarts,
+	}
+	var err error
+	if req.Rule, err = mapping.ParseRule(orDefault(rj.Rule, "interval")); err != nil {
+		return core.Request{}, err
+	}
+	if req.Model, err = pipeline.ParseCommModel(orDefault(rj.Model, "overlap")); err != nil {
+		return core.Request{}, err
+	}
+	if req.Objective, err = core.ParseCriterion(orDefault(rj.Objective, "period")); err != nil {
+		return core.Request{}, err
+	}
+	req.PeriodBounds = rj.PeriodBounds
+	if req.PeriodBounds == nil && rj.PeriodBound > 0 {
+		req.PeriodBounds = core.UniformBounds(inst, rj.PeriodBound)
+	}
+	req.LatencyBounds = rj.LatencyBounds
+	if req.LatencyBounds == nil && rj.LatencyBound > 0 {
+		req.LatencyBounds = core.UniformBounds(inst, rj.LatencyBound)
+	}
+	return req, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

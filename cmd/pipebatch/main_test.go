@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fmath"
+	"repro/internal/pipeline"
+)
+
+// writeJobFile encodes the motivating example as the default instance with
+// the given jobs array appended.
+func writeJobFile(t *testing.T, jobsJSON string) string {
+	t.Helper()
+	inst := pipeline.MotivatingExample()
+	var instBuf bytes.Buffer
+	if err := pipeline.EncodeJSON(&instBuf, &inst); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"instance": ` + instBuf.String() + `, "jobs": ` + jobsJSON + `}`
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func decodeOutput(t *testing.T, out *bytes.Buffer) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	return doc
+}
+
+// TestPipebatchFig1 runs the Section 2 headline requests as one batch,
+// including a duplicate that must be answered from the cache.
+func TestPipebatchFig1(t *testing.T) {
+	path := writeJobFile(t, `[
+		{"request": {"rule": "interval", "objective": "period"}},
+		{"request": {"rule": "interval", "objective": "energy", "periodBound": 2}},
+		{"request": {"rule": "interval", "objective": "period"}},
+		{"request": {"rule": "interval", "objective": "latency"}}
+	]`)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeOutput(t, &out)
+	results := doc["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("%d results, want 4", len(results))
+	}
+	wantValues := []float64{1, 46, 1, 2.75}
+	for i, want := range wantValues {
+		r := results[i].(map[string]any)
+		if errMsg, ok := r["error"]; ok {
+			t.Fatalf("job %d failed: %v", i, errMsg)
+		}
+		if got := r["value"].(float64); !fmath.EQ(got, want) {
+			t.Errorf("job %d value = %g, want %g", i, got, want)
+		}
+		if _, ok := r["mapping"]; !ok {
+			t.Errorf("job %d has no mapping", i)
+		}
+	}
+	stats := doc["stats"].(map[string]any)
+	if hits := stats["cacheHits"].(float64); hits < 1 {
+		t.Errorf("cacheHits = %g, want >= 1 (job 2 duplicates job 0)", hits)
+	}
+	if errs := stats["errors"].(float64); errs != 0 {
+		t.Errorf("errors = %g, want 0", errs)
+	}
+}
+
+// TestPipebatchPerJobErrors checks a failing job reports in place without
+// aborting the others.
+func TestPipebatchPerJobErrors(t *testing.T) {
+	path := writeJobFile(t, `[
+		{"request": {"objective": "energy"}},
+		{"request": {"objective": "period"}}
+	]`)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeOutput(t, &out)
+	results := doc["results"].([]any)
+	first := results[0].(map[string]any)
+	if _, ok := first["error"]; !ok {
+		t.Error("energy without period bound did not report an error")
+	}
+	second := results[1].(map[string]any)
+	if v := second["value"].(float64); !fmath.EQ(v, 1) {
+		t.Errorf("period job value = %g, want 1", v)
+	}
+	if errs := doc["stats"].(map[string]any)["errors"].(float64); errs != 1 {
+		t.Errorf("stats.errors = %g, want 1", errs)
+	}
+}
+
+// TestPipebatchStdinAndFlags exercises stdin input, -workers and -no-dedup.
+func TestPipebatchStdinAndFlags(t *testing.T) {
+	path := writeJobFile(t, `[
+		{"request": {"objective": "period"}},
+		{"request": {"objective": "period"}}
+	]`)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-workers", "2", "-no-dedup"}, bytes.NewReader(data), &out); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeOutput(t, &out)
+	if hits := doc["stats"].(map[string]any)["cacheHits"].(float64); hits != 0 {
+		t.Errorf("cacheHits = %g with -no-dedup", hits)
+	}
+}
+
+// TestPipebatchPerJobInstance gives one job its own instance overriding
+// the default.
+func TestPipebatchPerJobInstance(t *testing.T) {
+	small := `{"apps": [{"weight": 1, "in": 0, "stages": [{"work": 4, "out": 0}]}],
+		"platform": {"processors": [{"speeds": [2]}], "uniformBandwidth": 1}}`
+	path := writeJobFile(t, `[
+		{"request": {"objective": "period"}},
+		{"instance": `+small+`, "request": {"objective": "period"}}
+	]`)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeOutput(t, &out)
+	results := doc["results"].([]any)
+	if v := results[1].(map[string]any)["value"].(float64); !fmath.EQ(v, 2) {
+		t.Errorf("per-job instance value = %g, want 2 (work 4 / speed 2)", v)
+	}
+}
+
+// TestPipebatchBadInput rejects malformed documents.
+func TestPipebatchBadInput(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"jobs": []}`,
+		`{"jobs": [{"request": {"rule": "bogus"}}]}`,
+		`{"jobs": [{"request": {"objective": "period"}}]}`, // no instance anywhere
+	}
+	for _, doc := range cases {
+		if err := run(nil, strings.NewReader(doc), new(bytes.Buffer)); err == nil {
+			t.Errorf("input %q accepted", doc)
+		}
+	}
+	if err := run([]string{"-in", "/nope.json"}, nil, new(bytes.Buffer)); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,5 +1,5 @@
 // Command pipebench regenerates the paper's reproducible artifacts (see
-// DESIGN.md and EXPERIMENTS.md): the Section 2 motivating example, the
+// EXPERIMENTS.md): the Section 2 motivating example, the
 // Table 1 and Table 2 complexity maps, the simulator validation of
 // Equations 3-5, the period/energy Pareto frontier, the NP-hardness gadget
 // equivalences, and the polynomial/exponential scaling split.

@@ -72,31 +72,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	req := core.Request{Seed: *seed}
-	switch *ruleFlag {
-	case "one-to-one":
-		req.Rule = mapping.OneToOne
-	case "interval":
-		req.Rule = mapping.Interval
-	default:
-		return fmt.Errorf("unknown rule %q", *ruleFlag)
+	if req.Rule, err = mapping.ParseRule(*ruleFlag); err != nil {
+		return err
 	}
-	switch *modelFlag {
-	case "overlap":
-		req.Model = pipeline.Overlap
-	case "no-overlap":
-		req.Model = pipeline.NoOverlap
-	default:
-		return fmt.Errorf("unknown model %q", *modelFlag)
+	if req.Model, err = pipeline.ParseCommModel(*modelFlag); err != nil {
+		return err
 	}
-	switch *objFlag {
-	case "period":
-		req.Objective = core.Period
-	case "latency":
-		req.Objective = core.Latency
-	case "energy":
-		req.Objective = core.Energy
-	default:
-		return fmt.Errorf("unknown objective %q", *objFlag)
+	if req.Objective, err = core.ParseCriterion(*objFlag); err != nil {
+		return err
 	}
 	if *periodBound > 0 {
 		req.PeriodBounds = core.UniformBounds(&inst, *periodBound)

@@ -20,6 +20,15 @@
 // a simulated-annealing heuristic otherwise, with the provenance reported
 // in the Result.
 //
+// SolveBatch is the concurrent engine on top of Solve (see
+// internal/batch): it fans a slice of independent jobs across a bounded
+// worker pool, deduplicates identical jobs through a canonical-key
+// memoization cache (shareable across calls via NewSolveCache), and
+// returns per-job results in input order with aggregate statistics. Every
+// result is bit-identical to what sequential Solve returns for the same
+// job. The Pareto frontier builders and the experiment table drivers run
+// on this engine.
+//
 // A discrete-event simulator (Simulate, VerifyMapping) executes mappings
 // dataset-by-dataset and reproduces the analytic period and latency
 // formulas, and Pareto frontier builders answer the paper's laptop problem
@@ -37,6 +46,16 @@
 //	})
 //	// res.Value == 46, the paper's period/energy trade-off.
 //
-// See examples/ for runnable programs and EXPERIMENTS.md for the
-// paper-versus-measured record of every reproduced artifact.
+// Batch form, solving many requests at once:
+//
+//	results, stats := repro.SolveBatch([]repro.Job{
+//		{Inst: &inst, Req: req1},
+//		{Inst: &inst, Req: req2},
+//	}, repro.BatchOptions{})
+//	// results[i] answers jobs[i]; stats counts cache hits and methods.
+//
+// See README.md for an overview, examples/ for runnable programs, the
+// cmd/ directory for the command-line tools (pipegen, pipemap, pipebatch,
+// pipesim, pipebench), and EXPERIMENTS.md for the paper-versus-measured
+// record of every reproduced artifact.
 package repro

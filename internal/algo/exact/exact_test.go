@@ -14,7 +14,7 @@ import (
 
 // TestMotivatingExampleHeadlineNumbers reproduces all four Section 2
 // numbers by exhaustive search over interval mappings: this is experiment
-// FIG1 of DESIGN.md.
+// FIG1 of EXPERIMENTS.md.
 func TestMotivatingExampleHeadlineNumbers(t *testing.T) {
 	inst := pipeline.MotivatingExample()
 

@@ -1,0 +1,199 @@
+// Package batch is the concurrent batch-solving engine on top of
+// core.Solve: it fans a slice of independent (instance, request) jobs
+// across a bounded pool of worker goroutines, deduplicates identical jobs
+// through a canonical-key memoization cache (see Key and Cache), and
+// returns per-job results in input order together with aggregate
+// statistics.
+//
+// Solve never reorders: results[i] always answers jobs[i], and a job that
+// fails only poisons its own slot — the error is recorded per job and the
+// remaining jobs still run. Identical jobs (same canonical key) are solved
+// once no matter how they interleave across workers, which makes batch
+// sweeps with repeated subproblems — Pareto frontier builds, experiment
+// tables, parameter grids — cheap and, because core.Solve is deterministic
+// per request, bit-identical to solving each job sequentially.
+package batch
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Job is one solver invocation: an instance and the request to solve on
+// it. The instance is read, never written; many jobs may share one
+// *Instance.
+type Job struct {
+	Inst *pipeline.Instance
+	Req  core.Request
+}
+
+// Options configures a Solve call.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	// The pool never exceeds the number of jobs.
+	Workers int
+	// Cache, if non-nil, memoizes results across Solve calls. When nil,
+	// Solve uses a private cache scoped to the call (still deduplicating
+	// identical jobs within the batch).
+	Cache *Cache
+	// NoDedup disables memoization entirely: every job runs the solver,
+	// even exact duplicates. Useful for benchmarking the raw pool.
+	NoDedup bool
+}
+
+// JobResult pairs one job's Result with its error; exactly one of the two
+// is meaningful, as with core.Solve.
+type JobResult struct {
+	Result core.Result
+	Err    error
+}
+
+// Stats aggregates what a Solve call did.
+type Stats struct {
+	// Jobs is the number of jobs submitted.
+	Jobs int
+	// CacheHits counts jobs answered by reusing another job's computation
+	// (within this batch, or from a previous batch via a shared Cache).
+	CacheHits int
+	// Errors counts jobs whose Err is non-nil.
+	Errors int
+	// Methods counts successful jobs per dispatch method, so callers can
+	// see how a batch split across the paper's algorithms.
+	Methods map[core.Method]int
+	// Wall is the elapsed wall-clock time of the whole batch.
+	Wall time.Duration
+}
+
+// Solve runs every job through core.Solve on a bounded worker pool and
+// returns the per-job results in input order plus aggregate stats. It is
+// safe for concurrent use (distinct calls may even share a Cache). The
+// results are independent copies: mutating one job's mapping never affects
+// another job's result or the cache.
+func Solve(jobs []Job, opts Options) ([]JobResult, Stats) {
+	start := time.Now()
+	results := make([]JobResult, len(jobs))
+	hits := make([]bool, len(jobs))
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	if opts.NoDedup {
+		solveAll(jobs, workers, results)
+	} else {
+		cache := opts.Cache
+		if cache == nil {
+			cache = NewCache()
+		}
+		solveDeduped(jobs, workers, cache, results, hits)
+	}
+
+	stats := Stats{Jobs: len(jobs), Methods: make(map[core.Method]int), Wall: time.Since(start)}
+	for i := range results {
+		if hits[i] {
+			stats.CacheHits++
+		}
+		if results[i].Err != nil {
+			stats.Errors++
+		} else {
+			stats.Methods[results[i].Result.Method]++
+		}
+	}
+	return results, stats
+}
+
+// solveAll runs every job individually, no memoization.
+func solveAll(jobs []Job, workers int, results []JobResult) {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := core.Solve(jobs[i].Inst, jobs[i].Req)
+				results[i] = JobResult{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// solveDeduped groups duplicate jobs by canonical key before dispatch, so
+// one work item per distinct subproblem reaches the pool and a duplicate
+// never parks a worker behind its group's in-flight computation (no
+// head-of-line blocking when duplicated slow jobs mix with unique fast
+// ones). The cache still single-flights across concurrent Solve calls that
+// share it.
+func solveDeduped(jobs []Job, workers int, cache *Cache, results []JobResult, hits []bool) {
+	keyOrder := make([]string, 0, len(jobs))
+	groups := make(map[string][]int, len(jobs))
+	for i := range jobs {
+		k := Key(jobs[i].Inst, jobs[i].Req)
+		if _, ok := groups[k]; !ok {
+			keyOrder = append(keyOrder, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	if workers > len(keyOrder) {
+		workers = len(keyOrder)
+	}
+	var wg sync.WaitGroup
+	tasks := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range tasks {
+				idxs := groups[k]
+				job := jobs[idxs[0]]
+				res, err, hit := cache.do(k, func() (core.Result, error) {
+					return core.Solve(job.Inst, job.Req)
+				})
+				for n, i := range idxs {
+					jr := JobResult{Err: err}
+					if err == nil {
+						// Clone only successes: a failed Solve returns the
+						// zero Result, and cloning would turn its nil
+						// mapping slice into an empty one, breaking
+						// bit-identity with the sequential call.
+						jr.Result = cloneResult(res)
+					}
+					results[i] = jr
+					hits[i] = hit || n > 0
+				}
+			}
+		}()
+	}
+	for _, k := range keyOrder {
+		tasks <- k
+	}
+	close(tasks)
+	wg.Wait()
+}
+
+// cloneResult deep-copies the slice-bearing parts of a Result so cached
+// values stay immutable no matter what callers do with their copies.
+func cloneResult(r core.Result) core.Result {
+	c := r
+	c.Mapping = r.Mapping.Clone()
+	if r.Metrics.AppPeriods != nil {
+		c.Metrics.AppPeriods = append([]float64(nil), r.Metrics.AppPeriods...)
+	}
+	if r.Metrics.AppLatencies != nil {
+		c.Metrics.AppLatencies = append([]float64(nil), r.Metrics.AppLatencies...)
+	}
+	return c
+}

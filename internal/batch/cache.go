@@ -1,0 +1,91 @@
+package batch
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// numShards bounds lock contention. Keys are lowercase SHA-256 hex, so the
+// shard index decodes the first two nibbles (256 uniform values, and 256 is
+// a multiple of numShards) rather than using the raw byte, whose 16
+// possible values would reach only half the shards.
+const numShards = 32
+
+func shardOf(key string) int {
+	return int(hexNibble(key[0])<<4|hexNibble(key[1])) % numShards
+}
+
+func hexNibble(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// Cache memoizes solver results by canonical job key. It is safe for
+// concurrent use and performs single-flight deduplication: when several
+// workers ask for the same key at once, exactly one runs the solver and the
+// others block until its result is published. A Cache can outlive a single
+// Solve call — hand the same Cache to successive batches (via
+// Options.Cache) to reuse results across calls, e.g. between the points of
+// two Pareto sweeps over overlapping candidate sets.
+//
+// The zero value is not usable; call NewCache.
+type Cache struct {
+	shards [numShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+// cacheEntry is a single-flight slot: ready is closed once res/err are
+// final, so waiters never observe a partially written result.
+type cacheEntry struct {
+	ready chan struct{}
+	res   core.Result
+	err   error
+}
+
+// NewCache returns an empty memoization cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// Len returns the number of memoized keys (including in-flight ones).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// do returns the result for key, computing it with compute on first
+// arrival. hit reports whether an existing (possibly still in-flight)
+// computation was reused. The returned Result is the shared stored value —
+// callers must clone before handing it out.
+func (c *Cache) do(key string, compute func() (core.Result, error)) (res core.Result, err error, hit bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-e.ready
+		return e.res, e.err, true
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+
+	e.res, e.err = compute()
+	close(e.ready)
+	return e.res, e.err, false
+}

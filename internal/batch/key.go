@@ -1,0 +1,104 @@
+package batch
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// keyWriter streams a canonical binary encoding of a job into a hash. Every
+// field is written with an explicit length or presence tag so that no two
+// distinct (instance, request) pairs share an encoding: floats are written
+// as their IEEE-754 bit patterns (so 0 and -0 differ, and NaN payloads are
+// preserved), slices are length-prefixed, and nil slices are distinguished
+// from empty ones because the nil-ness of Request bounds is semantically
+// meaningful to the solver ("unconstrained" versus "constrained").
+type keyWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (k *keyWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(k.buf[:], v)
+	k.h.Write(k.buf[:])
+}
+
+func (k *keyWriter) i64(v int64)   { k.u64(uint64(v)) }
+func (k *keyWriter) f64(v float64) { k.u64(math.Float64bits(v)) }
+
+func (k *keyWriter) str(s string) {
+	k.u64(uint64(len(s)))
+	k.h.Write([]byte(s))
+}
+
+// floats writes a slice with a presence tag: nil and empty encode
+// differently.
+func (k *keyWriter) floats(xs []float64) {
+	if xs == nil {
+		k.u64(0)
+		return
+	}
+	k.u64(1)
+	k.u64(uint64(len(xs)))
+	for _, x := range xs {
+		k.f64(x)
+	}
+}
+
+func (k *keyWriter) matrix(m [][]float64) {
+	k.u64(uint64(len(m)))
+	for _, row := range m {
+		k.floats(row)
+	}
+}
+
+// Key returns a stable canonical key identifying a (instance, request)
+// pair: two jobs receive the same key exactly when every field that can
+// influence core.Solve (and the cosmetic names carried into reports) is
+// identical. The key is the hex SHA-256 of the canonical encoding, so it is
+// cheap to store and compare regardless of instance size.
+func Key(inst *pipeline.Instance, req core.Request) string {
+	k := &keyWriter{h: sha256.New()}
+
+	k.u64(uint64(len(inst.Apps)))
+	for a := range inst.Apps {
+		app := &inst.Apps[a]
+		k.str(app.Name)
+		k.f64(app.Weight)
+		k.f64(app.In)
+		k.u64(uint64(len(app.Stages)))
+		for _, st := range app.Stages {
+			k.f64(st.Work)
+			k.f64(st.Out)
+		}
+	}
+	k.u64(uint64(len(inst.Platform.Processors)))
+	for u := range inst.Platform.Processors {
+		pr := &inst.Platform.Processors[u]
+		k.str(pr.Name)
+		k.floats(pr.Speeds)
+	}
+	k.matrix(inst.Platform.Bandwidth)
+	k.matrix(inst.Platform.InBandwidth)
+	k.matrix(inst.Platform.OutBandwidth)
+	k.f64(inst.Energy.Static)
+	k.f64(inst.Energy.Alpha)
+
+	k.i64(int64(req.Rule))
+	k.i64(int64(req.Model))
+	k.i64(int64(req.Objective))
+	k.floats(req.PeriodBounds)
+	k.floats(req.LatencyBounds)
+	k.f64(req.EnergyBudget)
+	k.i64(req.ExactLimit)
+	k.i64(req.Seed)
+	k.i64(int64(req.HeurIters))
+	k.i64(int64(req.HeurRestarts))
+
+	return hex.EncodeToString(k.h.Sum(nil))
+}

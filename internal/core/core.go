@@ -57,6 +57,19 @@ func (c Criterion) String() string {
 	return fmt.Sprintf("Criterion(%d)", int(c))
 }
 
+// ParseCriterion is the inverse of String, shared by the cmd/ tools.
+func ParseCriterion(s string) (Criterion, error) {
+	switch s {
+	case "period":
+		return Period, nil
+	case "latency":
+		return Latency, nil
+	case "energy":
+		return Energy, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (want period | latency | energy)", s)
+}
+
 // Method records how a solution was obtained.
 type Method string
 

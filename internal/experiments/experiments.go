@@ -1,5 +1,5 @@
 // Package experiments regenerates every reproducible artifact of the paper
-// (see DESIGN.md's per-experiment index): the Section 2 / Figure 1
+// (see EXPERIMENTS.md's per-experiment index): the Section 2 / Figure 1
 // motivating example, the Table 1 and Table 2 complexity maps (optimality
 // of every polynomial algorithm against the exhaustive oracle plus the
 // polynomial/exponential scaling split), the Equations 3-5 simulator
@@ -9,6 +9,10 @@
 // Each experiment writes human-readable tables to the supplied writer and
 // returns a non-nil error if any paper claim failed to reproduce, so the
 // test suite can assert full reproduction.
+//
+// The complexity-table drivers solve their per-cell trials concurrently on
+// the internal/batch engine; all random draws stay on a single sequential
+// rng stream, so the record is deterministic per seed.
 package experiments
 
 import (

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/algo/exact"
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/fmath"
 	"repro/internal/mapping"
@@ -39,15 +42,52 @@ type cellCheck struct {
 }
 
 // run executes the cell check and returns a table row plus an error if the
-// reproduction failed.
+// reproduction failed. The random draws happen sequentially up front so the
+// rng stream is identical to a trial-by-trial run, then all trials are
+// solved concurrently as one batch and validated in order.
 func (c *cellCheck) run(rng *rand.Rand) (cellResult, error) {
+	insts := make([]pipeline.Instance, trialsPerCell)
+	reqs := make([]core.Request, trialsPerCell)
+	jobs := make([]batch.Job, trialsPerCell)
+	for t := 0; t < trialsPerCell; t++ {
+		insts[t] = c.gen(rng)
+		reqs[t] = c.req(&insts[t], rng)
+		jobs[t] = batch.Job{Inst: &insts[t], Req: reqs[t]}
+	}
+	solved, _ := batch.Solve(jobs, batch.Options{})
+
+	// The exhaustive oracle dominates a cell's wall time and is independent
+	// per trial, so it fans out too; the validation below stays sequential
+	// and order-preserving.
+	type oracleOut struct {
+		val float64
+		err error
+	}
+	oracles := make([]oracleOut, trialsPerCell)
+	if c.oracle != nil {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for t := 0; t < trialsPerCell; t++ {
+			if solved[t].Err != nil {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				v, err := c.oracle(&insts[t], reqs[t])
+				oracles[t] = oracleOut{val: v, err: err}
+			}(t)
+		}
+		wg.Wait()
+	}
+
 	matches, trials := 0, 0
 	var firstErr error
 	method := ""
 	for t := 0; t < trialsPerCell; t++ {
-		inst := c.gen(rng)
-		req := c.req(&inst, rng)
-		res, err := core.Solve(&inst, req)
+		res, err := solved[t].Result, solved[t].Err
 		if errors.Is(err, core.ErrInfeasible) {
 			continue // bound draw was infeasible; not a failure
 		}
@@ -69,7 +109,7 @@ func (c *cellCheck) run(rng *rand.Rand) (cellResult, error) {
 			trials++
 			continue
 		}
-		want, err := c.oracle(&inst, req)
+		want, err := oracles[t].val, oracles[t].err
 		if errors.Is(err, exact.ErrInfeasible) {
 			continue
 		}

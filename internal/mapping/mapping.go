@@ -36,6 +36,17 @@ func (r Rule) String() string {
 	return fmt.Sprintf("Rule(%d)", int(r))
 }
 
+// ParseRule is the inverse of String, shared by the cmd/ tools.
+func ParseRule(s string) (Rule, error) {
+	switch s {
+	case "one-to-one":
+		return OneToOne, nil
+	case "interval":
+		return Interval, nil
+	}
+	return 0, fmt.Errorf("unknown rule %q (want one-to-one | interval)", s)
+}
+
 // PlacedInterval assigns the stages From..To (inclusive, 0-based) of one
 // application to a processor running in a fixed mode.
 type PlacedInterval struct {

@@ -104,7 +104,7 @@ type TriCriteriaGadget struct {
 // and saves ~a_i*X latency. (The paper's printed speed perturbation
 // a_i*X/K^{i*alpha} mismatches its own first-order expansions; the
 // correction a_i*X/K^{i*(alpha-1)} restores Delta E ~ alpha*a_i*X and
-// Delta L ~ a_i*X, which the proofs rely on. DESIGN.md documents this.)
+// Delta L ~ a_i*X, which the proofs rely on. EXPERIMENTS.md documents this.)
 //
 // The thresholds encode "sum over the chosen fast levels = S/2":
 //

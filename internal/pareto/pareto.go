@@ -5,13 +5,19 @@
 // bi-criteria algorithms are polynomial, the frontier itself is computed in
 // polynomial time by sweeping the exact candidate set of achievable
 // periods; elsewhere the exhaustive exact.ParetoFront applies.
+//
+// The candidate sweeps are embarrassingly parallel — every candidate period
+// is an independent min-energy subproblem — so both builders fan their
+// candidates across the internal/batch worker pool and collect the
+// frontier from the in-order results, which keeps the output deterministic
+// while using every core.
 package pareto
 
 import (
 	"math"
 
-	"repro/internal/algo/interval"
-	"repro/internal/algo/matching"
+	"repro/internal/batch"
+	"repro/internal/core"
 	"repro/internal/fmath"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
@@ -78,35 +84,50 @@ func periodCandidates(inst *pipeline.Instance, model pipeline.CommModel) []float
 	return fmath.SortedUnique(cands)
 }
 
-// PeriodEnergyFullyHom computes the full period/energy frontier of interval
-// mappings on a fully homogeneous multi-modal platform, by solving the
-// Theorem 18+21 dynamic program at every candidate period. Each frontier
-// point's mapping is a witness achieving (period <= Point.Period,
-// Point.Energy) with minimal energy.
-func PeriodEnergyFullyHom(inst *pipeline.Instance, model pipeline.CommModel) ([]Point, error) {
+// sweepFrontier solves the min-energy-under-period problem at every
+// candidate period concurrently (one batch job per candidate; core.Solve
+// dispatches each to the paper's polynomial algorithm for the platform
+// class) and filters the feasible results down to the frontier. A
+// candidate that fails to solve — infeasible bounds, or a platform shape
+// the rule cannot map at all (e.g. one-to-one with fewer processors than
+// stages) — is skipped, matching the sequential implementation: an empty
+// frontier, not an error, reports that nothing is achievable.
+func sweepFrontier(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, cands []float64) ([]Point, error) {
+	jobs := make([]batch.Job, len(cands))
+	for i, cand := range cands {
+		jobs[i] = batch.Job{Inst: inst, Req: core.Request{
+			Rule: rule, Model: model, Objective: core.Energy,
+			PeriodBounds: core.UniformBounds(inst, cand),
+		}}
+	}
+	results, _ := batch.Solve(jobs, batch.Options{})
 	var points []Point
-	for _, cand := range periodCandidates(inst, model) {
-		bounds := make([]float64, len(inst.Apps))
-		for a := range bounds {
-			bounds[a] = cand / inst.Apps[a].EffectiveWeight()
-		}
-		m, e, err := interval.MinEnergyGivenPeriodFullyHom(inst, model, bounds)
-		if err != nil {
-			continue // infeasible at this period
+	for _, jr := range results {
+		if jr.Err != nil {
+			continue // not achievable at this candidate period
 		}
 		points = append(points, Point{
-			Period:  mapping.Period(inst, &m, model),
-			Energy:  e,
-			Mapping: m,
+			Period:  jr.Result.Metrics.Period,
+			Energy:  jr.Result.Value,
+			Mapping: jr.Result.Mapping,
 		})
 	}
 	return Filter(points), nil
 }
 
+// PeriodEnergyFullyHom computes the full period/energy frontier of interval
+// mappings on a fully homogeneous multi-modal platform, by solving the
+// Theorem 18+21 dynamic program at every candidate period (in parallel
+// across the batch worker pool). Each frontier point's mapping is a witness
+// achieving (period <= Point.Period, Point.Energy) with minimal energy.
+func PeriodEnergyFullyHom(inst *pipeline.Instance, model pipeline.CommModel) ([]Point, error) {
+	return sweepFrontier(inst, mapping.Interval, model, periodCandidates(inst, model))
+}
+
 // PeriodEnergyOneToOneCommHom computes the one-to-one period/energy
 // frontier on a communication homogeneous platform by running the Theorem
 // 19 matching at every candidate period (W_a times any stage cycle time at
-// any processor mode).
+// any processor mode), in parallel across the batch worker pool.
 func PeriodEnergyOneToOneCommHom(inst *pipeline.Instance, model pipeline.CommModel) ([]Point, error) {
 	b, _ := inst.Platform.HomogeneousLinks()
 	var cands []float64
@@ -128,20 +149,7 @@ func PeriodEnergyOneToOneCommHom(inst *pipeline.Instance, model pipeline.CommMod
 			}
 		}
 	}
-	cands = fmath.SortedUnique(cands)
-	var points []Point
-	for _, cand := range cands {
-		bounds := make([]float64, len(inst.Apps))
-		for a := range bounds {
-			bounds[a] = cand / inst.Apps[a].EffectiveWeight()
-		}
-		m, e, err := matching.MinEnergyGivenPeriodCommHom(inst, model, bounds)
-		if err != nil {
-			continue
-		}
-		points = append(points, Point{Period: mapping.Period(inst, &m, model), Energy: e, Mapping: m})
-	}
-	return Filter(points), nil
+	return sweepFrontier(inst, mapping.OneToOne, model, fmath.SortedUnique(cands))
 }
 
 // MinEnergyUnderPeriod answers the server problem from a frontier: the

@@ -128,6 +128,21 @@ func TestPeriodEnergyOneToOneMatchesExhaustive(t *testing.T) {
 	}
 }
 
+// TestOneToOneImpossiblePlatformYieldsEmptyFrontier pins the sequential
+// contract kept by the batch sweep: when the rule cannot map the instance
+// at all (one-to-one with fewer processors than stages), the frontier is
+// empty and no error is raised.
+func TestOneToOneImpossiblePlatformYieldsEmptyFrontier(t *testing.T) {
+	inst := pipeline.MotivatingExample() // 7 stages, 3 processors
+	front, err := PeriodEnergyOneToOneCommHom(&inst, pipeline.Overlap)
+	if err != nil {
+		t.Fatalf("impossible platform returned error %v, want empty frontier", err)
+	}
+	if len(front) != 0 {
+		t.Fatalf("impossible platform returned %d points", len(front))
+	}
+}
+
 func TestLaptopAndServerQueries(t *testing.T) {
 	front := []Point{{Period: 1, Energy: 100}, {Period: 2, Energy: 40}, {Period: 5, Energy: 10}}
 	if got := MinEnergyUnderPeriod(front, 2); got != 40 {

@@ -68,6 +68,17 @@ func (m CommModel) String() string {
 	return fmt.Sprintf("CommModel(%d)", int(m))
 }
 
+// ParseCommModel is the inverse of String, shared by the cmd/ tools.
+func ParseCommModel(s string) (CommModel, error) {
+	switch s {
+	case "overlap":
+		return Overlap, nil
+	case "no-overlap":
+		return NoOverlap, nil
+	}
+	return 0, fmt.Errorf("unknown model %q (want overlap | no-overlap)", s)
+}
+
 // Instance bundles the concurrent applications, the target platform and the
 // energy model: one complete problem input.
 type Instance struct {
@@ -151,7 +162,7 @@ func (in *Instance) SpecialApp() bool {
 // App1 has stages of work (3, 2, 1) with input size 1 and output size 0;
 // App2 has stages of work (2, 6, 4, 2) with input size 0 and output size 1.
 // The inner data sizes not printed in the paper are chosen consistently
-// with every number computed in Section 2 (see DESIGN.md).
+// with every number computed in Section 2 (see EXPERIMENTS.md).
 func MotivatingExample() Instance {
 	app1 := Application{
 		Name:   "App1",
