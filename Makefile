@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench experiments clean
+.PHONY: all build test check fmt vet race bench experiments serve clean
 
 all: check
 
@@ -24,9 +24,9 @@ vet:
 
 # race runs the race detector over the concurrent packages: the batch
 # engine and its consumers (pareto sweeps, the experiment table drivers,
-# the public SolveBatch API).
+# the HTTP server, the public SolveBatch API).
 race:
-	$(GO) test -race ./internal/batch/ ./internal/pareto/ ./internal/experiments/ .
+	$(GO) test -race ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -34,6 +34,10 @@ bench:
 # experiments regenerates the paper-versus-measured record (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/pipebench
+
+# serve runs the solver HTTP service locally (see cmd/pipeserved -h).
+serve:
+	$(GO) run ./cmd/pipeserved
 
 clean:
 	$(GO) clean ./...

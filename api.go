@@ -1,10 +1,10 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
-	"repro/internal/algo/exact"
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/general"
@@ -131,12 +131,23 @@ type (
 	BatchStats = batch.Stats
 	// SolveCache memoizes solver results across SolveBatch calls.
 	SolveCache = batch.Cache
+	// SolveCacheStats is a snapshot of a SolveCache's counters: entries,
+	// configured cap, hits, misses and evictions.
+	SolveCacheStats = batch.CacheStats
 )
 
-// NewSolveCache returns an empty memoization cache that can be shared by
-// successive SolveBatch calls (and by concurrent ones: it is safe for
-// concurrent use).
+// NewSolveCache returns an empty, unbounded memoization cache that can be
+// shared by successive SolveBatch calls (and by concurrent ones: it is
+// safe for concurrent use).
 func NewSolveCache() *SolveCache { return batch.NewCache() }
+
+// NewSolveCacheCap returns a memoization cache bounded to at most
+// maxEntries memoized keys; beyond the cap the least recently used entries
+// are evicted. A non-positive cap means unbounded. A bounded cache is the
+// right choice for a long-running process (see cmd/pipeserved) where an
+// unbounded memo would grow for the life of the server. Inspect usage via
+// (*SolveCache).Stats.
+func NewSolveCacheCap(maxEntries int) *SolveCache { return batch.NewCacheCap(maxEntries) }
 
 // SolveBatch solves every job concurrently on a bounded worker pool,
 // deduplicating identical jobs through a canonical-key memoization cache,
@@ -145,6 +156,15 @@ func NewSolveCache() *SolveCache { return batch.NewCache() }
 // same job; a failing job only poisons its own slot.
 func SolveBatch(jobs []Job, opts BatchOptions) ([]BatchResult, BatchStats) {
 	return batch.Solve(jobs, opts)
+}
+
+// SolveBatchCtx is SolveBatch with cancellation: once ctx is done, jobs
+// that have not started return ctx.Err() in their slot, workers stop
+// picking up new jobs, and the call returns promptly (a job already inside
+// the solver runs to completion). Results computed before the cancellation
+// are kept, so partial progress is not thrown away.
+func SolveBatchCtx(ctx context.Context, jobs []Job, opts BatchOptions) ([]BatchResult, BatchStats) {
+	return batch.SolveCtx(ctx, jobs, opts)
 }
 
 // UniformBounds turns a single global weighted threshold X into the
@@ -189,23 +209,14 @@ func VerifyMapping(inst *Instance, m *Mapping, model CommModel, tol float64) err
 // polynomial candidate sweep; otherwise it falls back to exhaustive
 // enumeration, subject to the same search-space limits as Solve.
 func ParetoPeriodEnergy(inst *Instance, rule Rule, model CommModel) ([]ParetoPoint, error) {
-	cls := inst.Platform.Classify()
-	switch {
-	case rule == Interval && cls == FullyHomogeneous:
-		return pareto.PeriodEnergyFullyHom(inst, model)
-	case rule == OneToOne && cls != FullyHeterogeneous:
-		return pareto.PeriodEnergyOneToOneCommHom(inst, model)
-	default:
-		full, err := exact.ParetoFront(inst, rule, model)
-		if err != nil {
-			return nil, err
-		}
-		pts := make([]ParetoPoint, 0, len(full))
-		for _, pt := range full {
-			pts = append(pts, ParetoPoint{Period: pt.Period, Energy: pt.Energy, Mapping: pt.Mapping})
-		}
-		return pareto.Filter(pts), nil
-	}
+	return ParetoPeriodEnergyCtx(context.Background(), inst, rule, model)
+}
+
+// ParetoPeriodEnergyCtx is ParetoPeriodEnergy with cancellation: the
+// polynomial candidate sweeps stop between candidate solves once ctx is
+// done (the exhaustive fallback honours ctx only before it starts).
+func ParetoPeriodEnergyCtx(ctx context.Context, inst *Instance, rule Rule, model CommModel) ([]ParetoPoint, error) {
+	return pareto.PeriodEnergyCtx(ctx, inst, rule, model, batch.Options{})
 }
 
 // MinEnergyUnderPeriod answers the server problem on a frontier.

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -322,5 +323,55 @@ func TestPublicAPIReplicatedHeuristic(t *testing.T) {
 	mt := EvaluateReplicated(&inst, &rm, Overlap)
 	if !fmath.EQ(mt.Period, v) {
 		t.Errorf("reported %g, evaluated %g", v, mt.Period)
+	}
+}
+
+// TestPublicAPIBatchCtxAndBoundedCache pins the long-running-process
+// surface: SolveBatchCtx honours cancellation, NewSolveCacheCap bounds the
+// memo, and ParetoPeriodEnergyCtx can be aborted.
+func TestPublicAPIBatchCtxAndBoundedCache(t *testing.T) {
+	inst := MotivatingExample()
+	jobs := []Job{
+		{Inst: &inst, Req: Request{Rule: Interval, Objective: Period}},
+		{Inst: &inst, Req: Request{Rule: Interval, Objective: Latency}},
+	}
+
+	// Background context: identical to SolveBatch.
+	got, _ := SolveBatchCtx(context.Background(), jobs, BatchOptions{})
+	want, _ := SolveBatch(jobs, BatchOptions{})
+	if !reflect.DeepEqual(got, want) {
+		t.Error("SolveBatchCtx(background) differs from SolveBatch")
+	}
+
+	// Cancelled context: every slot carries the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, stats := SolveBatchCtx(ctx, jobs, BatchOptions{})
+	if stats.Errors != len(jobs) {
+		t.Errorf("cancelled batch: %d errors for %d jobs", stats.Errors, len(jobs))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+	if _, err := ParetoPeriodEnergyCtx(ctx, &inst, Interval, Overlap); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled frontier: err = %v, want context.Canceled", err)
+	}
+
+	// Bounded cache: the cap is a hard invariant with evictions reported.
+	cache := NewSolveCacheCap(1)
+	var sweep []Job
+	for x := 1; x <= 8; x++ {
+		sweep = append(sweep, Job{Inst: &inst, Req: Request{Rule: Interval, Objective: Energy,
+			PeriodBounds: UniformBounds(&inst, float64(x))}})
+	}
+	SolveBatchCtx(context.Background(), sweep, BatchOptions{Cache: cache})
+	if n := cache.Len(); n > 1 {
+		t.Errorf("cache holds %d entries, cap 1", n)
+	}
+	st := cache.Stats()
+	if st.Cap != 1 || st.Evictions == 0 {
+		t.Errorf("cache stats = %+v, want cap 1 with evictions", st)
 	}
 }

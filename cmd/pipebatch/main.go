@@ -43,12 +43,15 @@
 //	            "wallMs": 1.62, "methods": {"...": 1}}
 //	}
 //
+// The document schemas live in internal/jobspec and are shared with the
+// pipeserved HTTP service: a pipebatch job file can be POSTed verbatim to
+// its /v1/batch endpoint. Non-finite result values are rendered as null.
+//
 // pipebatch exits non-zero on malformed input; per-job solver failures are
 // reported in the results array and do not abort the batch.
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,9 +59,7 @@ import (
 	"os"
 
 	"repro/internal/batch"
-	"repro/internal/core"
-	"repro/internal/mapping"
-	"repro/internal/pipeline"
+	"repro/internal/jobspec"
 )
 
 func main() {
@@ -66,58 +67,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pipebatch:", err)
 		os.Exit(1)
 	}
-}
-
-// jobFileJSON is the top-level input schema.
-type jobFileJSON struct {
-	// Instance is the default instance, used by jobs without their own.
-	Instance json.RawMessage `json:"instance,omitempty"`
-	Jobs     []jobJSON       `json:"jobs"`
-}
-
-type jobJSON struct {
-	Instance json.RawMessage `json:"instance,omitempty"`
-	Request  requestJSON     `json:"request"`
-}
-
-type requestJSON struct {
-	Rule          string    `json:"rule,omitempty"`
-	Model         string    `json:"model,omitempty"`
-	Objective     string    `json:"objective,omitempty"`
-	PeriodBound   float64   `json:"periodBound,omitempty"`
-	LatencyBound  float64   `json:"latencyBound,omitempty"`
-	PeriodBounds  []float64 `json:"periodBounds,omitempty"`
-	LatencyBounds []float64 `json:"latencyBounds,omitempty"`
-	EnergyBudget  float64   `json:"energyBudget,omitempty"`
-	Seed          int64     `json:"seed,omitempty"`
-	ExactLimit    int64     `json:"exactLimit,omitempty"`
-	HeurIters     int       `json:"heurIters,omitempty"`
-	HeurRestarts  int       `json:"heurRestarts,omitempty"`
-}
-
-// resultJSON is one output slot; Error excludes the solver fields.
-type resultJSON struct {
-	Value   float64          `json:"value,omitempty"`
-	Method  string           `json:"method,omitempty"`
-	Optimal bool             `json:"optimal,omitempty"`
-	Period  float64          `json:"period,omitempty"`
-	Latency float64          `json:"latency,omitempty"`
-	Energy  float64          `json:"energy,omitempty"`
-	Mapping *json.RawMessage `json:"mapping,omitempty"`
-	Error   string           `json:"error,omitempty"`
-}
-
-type statsJSON struct {
-	Jobs      int            `json:"jobs"`
-	CacheHits int            `json:"cacheHits"`
-	Errors    int            `json:"errors"`
-	WallMs    float64        `json:"wallMs"`
-	Methods   map[string]int `json:"methods"`
-}
-
-type outputJSON struct {
-	Results []resultJSON `json:"results"`
-	Stats   statsJSON    `json:"stats"`
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -138,116 +87,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	var doc jobFileJSON
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&doc); err != nil {
-		return fmt.Errorf("decoding job file: %w", err)
+	doc, err := jobspec.DecodeFile(r)
+	if err != nil {
+		return err
 	}
-	if len(doc.Jobs) == 0 {
-		return fmt.Errorf("job file has no jobs")
-	}
-
-	var defaultInst *pipeline.Instance
-	if doc.Instance != nil {
-		inst, err := pipeline.DecodeJSON(bytes.NewReader(doc.Instance))
-		if err != nil {
-			return fmt.Errorf("default instance: %w", err)
-		}
-		defaultInst = &inst
-	}
-	jobs := make([]batch.Job, len(doc.Jobs))
-	for i, jj := range doc.Jobs {
-		inst := defaultInst
-		if jj.Instance != nil {
-			dec, err := pipeline.DecodeJSON(bytes.NewReader(jj.Instance))
-			if err != nil {
-				return fmt.Errorf("job %d instance: %w", i, err)
-			}
-			inst = &dec
-		}
-		if inst == nil {
-			return fmt.Errorf("job %d has no instance and no default is set", i)
-		}
-		req, err := buildRequest(inst, jj.Request)
-		if err != nil {
-			return fmt.Errorf("job %d: %w", i, err)
-		}
-		jobs[i] = batch.Job{Inst: inst, Req: req}
+	jobs, err := doc.BatchJobs()
+	if err != nil {
+		return err
 	}
 
 	results, stats := batch.Solve(jobs, batch.Options{Workers: *workers, NoDedup: *noDedup})
-
-	out := outputJSON{Stats: statsJSON{
-		Jobs:      stats.Jobs,
-		CacheHits: stats.CacheHits,
-		Errors:    stats.Errors,
-		WallMs:    float64(stats.Wall.Microseconds()) / 1000,
-		Methods:   make(map[string]int, len(stats.Methods)),
-	}}
-	for m, n := range stats.Methods {
-		out.Stats.Methods[string(m)] = n
-	}
-	for i := range results {
-		if err := results[i].Err; err != nil {
-			out.Results = append(out.Results, resultJSON{Error: err.Error()})
-			continue
-		}
-		res := &results[i].Result
-		var buf bytes.Buffer
-		if err := mapping.EncodeJSON(&buf, &res.Mapping); err != nil {
-			return err
-		}
-		raw := json.RawMessage(buf.Bytes())
-		out.Results = append(out.Results, resultJSON{
-			Value:   res.Value,
-			Method:  string(res.Method),
-			Optimal: res.Optimal,
-			Period:  res.Metrics.Period,
-			Latency: res.Metrics.Latency,
-			Energy:  res.Metrics.Energy,
-			Mapping: &raw,
-		})
+	out, err := jobspec.EncodeOutput(results, stats)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
-}
-
-// buildRequest translates the JSON request into a core.Request, expanding
-// the global weighted thresholds into per-application bounds.
-func buildRequest(inst *pipeline.Instance, rj requestJSON) (core.Request, error) {
-	req := core.Request{
-		EnergyBudget: rj.EnergyBudget,
-		Seed:         rj.Seed,
-		ExactLimit:   rj.ExactLimit,
-		HeurIters:    rj.HeurIters,
-		HeurRestarts: rj.HeurRestarts,
-	}
-	var err error
-	if req.Rule, err = mapping.ParseRule(orDefault(rj.Rule, "interval")); err != nil {
-		return core.Request{}, err
-	}
-	if req.Model, err = pipeline.ParseCommModel(orDefault(rj.Model, "overlap")); err != nil {
-		return core.Request{}, err
-	}
-	if req.Objective, err = core.ParseCriterion(orDefault(rj.Objective, "period")); err != nil {
-		return core.Request{}, err
-	}
-	req.PeriodBounds = rj.PeriodBounds
-	if req.PeriodBounds == nil && rj.PeriodBound > 0 {
-		req.PeriodBounds = core.UniformBounds(inst, rj.PeriodBound)
-	}
-	req.LatencyBounds = rj.LatencyBounds
-	if req.LatencyBounds == nil && rj.LatencyBound > 0 {
-		req.LatencyBounds = core.UniformBounds(inst, rj.LatencyBound)
-	}
-	return req, nil
-}
-
-func orDefault(s, def string) string {
-	if s == "" {
-		return def
-	}
-	return s
 }

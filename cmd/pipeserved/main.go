@@ -1,0 +1,106 @@
+// Command pipeserved runs the solver as a long-running HTTP JSON service
+// (see internal/server for the endpoints and document schemas):
+//
+//	pipeserved [-addr :8080] [-workers 0] [-cache-cap 65536] [-timeout 30s]
+//
+//	POST /v1/solve     one request         -> one result
+//	POST /v1/batch     pipebatch job file  -> per-job results + stats
+//	POST /v1/pareto    instance + rule     -> period/energy frontier
+//	POST /v1/simulate  instance + mapping  -> measured vs analytic metrics
+//	GET  /healthz      liveness probe
+//	GET  /stats        cache/method/in-flight counters
+//
+// Flags:
+//
+//	-addr       listen address (default :8080)
+//	-workers    solver worker pool per request (0 = GOMAXPROCS)
+//	-cache-cap  entry cap of the shared memo cache (0 = unbounded,
+//	            default 65536); the cache is a sharded LRU that lives for
+//	            the whole process, so repeated and overlapping requests
+//	            are answered from memory
+//	-timeout    per-request wall-clock budget (0 = none, default 30s);
+//	            an expired budget cancels the request's remaining solver
+//	            jobs and reports 504
+//
+// A quick session against the Section 2 instance:
+//
+//	pipegen -preset fig1 > fig1.json
+//	pipeserved -addr :8080 &
+//	curl -s localhost:8080/v1/solve -d '{"instance": '"$(cat fig1.json)"',
+//	  "request": {"objective": "energy", "periodBound": 2}}'
+//	# -> {"value": 46, "method": "...", "period": 2, ...}
+//	curl -s localhost:8080/stats
+//
+// pipeserved shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests get a drain budget, and then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pipeserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pipeserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "solver worker pool per request (0 = GOMAXPROCS)")
+	cacheCap := fs.Int("cache-cap", 65536, "memo cache entry cap (0 = unbounded)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request budget (0 = none)")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "pipeserved: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		Workers:  *workers,
+		CacheCap: *cacheCap,
+		Timeout:  *timeout,
+		Logger:   logger,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d cache-cap=%d timeout=%v)",
+			*addr, *workers, *cacheCap, *timeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down, draining in-flight requests (budget %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("bye")
+	return nil
+}

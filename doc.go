@@ -29,6 +29,15 @@
 // job. The Pareto frontier builders and the experiment table drivers run
 // on this engine.
 //
+// SolveBatchCtx is the context-aware form for long-lived processes: when
+// the context is cancelled, jobs that have not started return ctx.Err()
+// in their slot, workers stop picking up new work, and results computed
+// before the cancellation are kept. Pair it with NewSolveCacheCap, which
+// bounds the shared memoization cache to a fixed number of entries
+// (sharded LRU with eviction statistics), so one cache can serve an
+// arbitrarily long request stream — cmd/pipeserved runs the solver as an
+// HTTP service exactly this way.
+//
 // A discrete-event simulator (Simulate, VerifyMapping) executes mappings
 // dataset-by-dataset and reproduces the analytic period and latency
 // formulas, and Pareto frontier builders answer the paper's laptop problem
@@ -56,6 +65,7 @@
 //
 // See README.md for an overview, examples/ for runnable programs, the
 // cmd/ directory for the command-line tools (pipegen, pipemap, pipebatch,
-// pipesim, pipebench), and EXPERIMENTS.md for the paper-versus-measured
-// record of every reproduced artifact.
+// pipesim, pipebench, and the pipeserved HTTP service), and
+// EXPERIMENTS.md for the paper-versus-measured record of every reproduced
+// artifact.
 package repro

@@ -12,10 +12,21 @@
 // sweeps with repeated subproblems — Pareto frontier builds, experiment
 // tables, parameter grids — cheap and, because core.Solve is deterministic
 // per request, bit-identical to solving each job sequentially.
+//
+// SolveCtx is the context-aware form for long-running processes: when the
+// context is cancelled mid-batch, jobs not yet solved return ctx.Err() in
+// their slot, workers stop picking up new jobs, and the call returns
+// promptly (jobs already inside the solver run to completion — the solver
+// itself is not preemptible). A panic inside the solver is confined to the
+// offending job's slot as an error rather than crashing the process, so a
+// server can keep a shared cache alive across poisoned requests.
 package batch
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -46,7 +57,8 @@ type Options struct {
 }
 
 // JobResult pairs one job's Result with its error; exactly one of the two
-// is meaningful, as with core.Solve.
+// is meaningful, as with core.Solve. A job skipped because the SolveCtx
+// context was cancelled carries that context's error.
 type JobResult struct {
 	Result core.Result
 	Err    error
@@ -74,6 +86,15 @@ type Stats struct {
 // results are independent copies: mutating one job's mapping never affects
 // another job's result or the cache.
 func Solve(jobs []Job, opts Options) ([]JobResult, Stats) {
+	return SolveCtx(context.Background(), jobs, opts)
+}
+
+// SolveCtx is Solve with cancellation: once ctx is done, jobs that have not
+// started return ctx.Err() in their slot and the workers drain without
+// solving anything further. Results for jobs that completed before the
+// cancellation are kept. SolveCtx never returns a nil slice for a non-empty
+// batch — every slot is filled with either a result or an error.
+func SolveCtx(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats) {
 	start := time.Now()
 	results := make([]JobResult, len(jobs))
 	hits := make([]bool, len(jobs))
@@ -84,13 +105,13 @@ func Solve(jobs []Job, opts Options) ([]JobResult, Stats) {
 	}
 
 	if opts.NoDedup {
-		solveAll(jobs, workers, results)
+		solveAll(ctx, jobs, workers, results)
 	} else {
 		cache := opts.Cache
 		if cache == nil {
 			cache = NewCache()
 		}
-		solveDeduped(jobs, workers, cache, results, hits)
+		solveDeduped(ctx, jobs, workers, cache, results, hits)
 	}
 
 	stats := Stats{Jobs: len(jobs), Methods: make(map[core.Method]int), Wall: time.Since(start)}
@@ -107,8 +128,20 @@ func Solve(jobs []Job, opts Options) ([]JobResult, Stats) {
 	return results, stats
 }
 
+// solveOne runs core.Solve, converting a panic into a per-job error so one
+// poisoned request cannot take down a long-running process.
+func solveOne(inst *pipeline.Instance, req core.Request) (res core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.Result{}
+			err = fmt.Errorf("batch: solve panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return core.Solve(inst, req)
+}
+
 // solveAll runs every job individually, no memoization.
-func solveAll(jobs []Job, workers int, results []JobResult) {
+func solveAll(ctx context.Context, jobs []Job, workers int, results []JobResult) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -119,16 +152,35 @@ func solveAll(jobs []Job, workers int, results []JobResult) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := core.Solve(jobs[i].Inst, jobs[i].Req)
+				if err := ctx.Err(); err != nil {
+					results[i] = JobResult{Err: err}
+					continue
+				}
+				res, err := solveOne(jobs[i].Inst, jobs[i].Req)
 				results[i] = JobResult{Result: res, Err: err}
 			}
 		}()
 	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
+	dispatch(ctx, len(jobs), idx, func(i int) { results[i] = JobResult{Err: ctx.Err()} })
 	wg.Wait()
+}
+
+// dispatch feeds item indices 0..n-1 into ch, stopping early when ctx is
+// cancelled; undelivered items are handed to skip on the caller's
+// goroutine (no worker ever received them, so writing their slots here is
+// race-free). ch is closed on return.
+func dispatch(ctx context.Context, n int, ch chan int, skip func(i int)) {
+	defer close(ch)
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				skip(j)
+			}
+			return
+		case ch <- i:
+		}
+	}
 }
 
 // solveDeduped groups duplicate jobs by canonical key before dispatch, so
@@ -137,7 +189,7 @@ func solveAll(jobs []Job, workers int, results []JobResult) {
 // head-of-line blocking when duplicated slow jobs mix with unique fast
 // ones). The cache still single-flights across concurrent Solve calls that
 // share it.
-func solveDeduped(jobs []Job, workers int, cache *Cache, results []JobResult, hits []bool) {
+func solveDeduped(ctx context.Context, jobs []Job, workers int, cache *Cache, results []JobResult, hits []bool) {
 	keyOrder := make([]string, 0, len(jobs))
 	groups := make(map[string][]int, len(jobs))
 	for i := range jobs {
@@ -150,26 +202,41 @@ func solveDeduped(jobs []Job, workers int, cache *Cache, results []JobResult, hi
 	if workers > len(keyOrder) {
 		workers = len(keyOrder)
 	}
+	skipGroup := func(g int) {
+		for _, i := range groups[keyOrder[g]] {
+			results[i] = JobResult{Err: ctx.Err()}
+		}
+	}
 	var wg sync.WaitGroup
-	tasks := make(chan string)
+	tasks := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range tasks {
-				idxs := groups[k]
+			for g := range tasks {
+				idxs := groups[keyOrder[g]]
+				if ctx.Err() != nil {
+					for _, i := range idxs {
+						results[i] = JobResult{Err: ctx.Err()}
+					}
+					continue
+				}
 				job := jobs[idxs[0]]
-				res, err, hit := cache.do(k, func() (core.Result, error) {
-					return core.Solve(job.Inst, job.Req)
+				res, err, hit := cache.do(keyOrder[g], func() (core.Result, error) {
+					return solveOne(job.Inst, job.Req)
 				})
 				for n, i := range idxs {
 					jr := JobResult{Err: err}
 					if err == nil {
-						// Clone only successes: a failed Solve returns the
-						// zero Result, and cloning would turn its nil
-						// mapping slice into an empty one, breaking
-						// bit-identity with the sequential call.
-						jr.Result = cloneResult(res)
+						// cache.do already returned an independent copy;
+						// the other slots of the group need their own so
+						// mutating one job's mapping never leaks into a
+						// duplicate's.
+						if n == 0 {
+							jr.Result = res
+						} else {
+							jr.Result = cloneResult(res)
+						}
 					}
 					results[i] = jr
 					hits[i] = hit || n > 0
@@ -177,10 +244,7 @@ func solveDeduped(jobs []Job, workers int, cache *Cache, results []JobResult, hi
 			}
 		}()
 	}
-	for _, k := range keyOrder {
-		tasks <- k
-	}
-	close(tasks)
+	dispatch(ctx, len(keyOrder), tasks, skipGroup)
 	wg.Wait()
 }
 

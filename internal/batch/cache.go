@@ -1,6 +1,9 @@
 package batch
 
 import (
+	"container/list"
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
@@ -29,34 +32,75 @@ func hexNibble(c byte) byte {
 // others block until its result is published. A Cache can outlive a single
 // Solve call — hand the same Cache to successive batches (via
 // Options.Cache) to reuse results across calls, e.g. between the points of
-// two Pareto sweeps over overlapping candidate sets.
+// two Pareto sweeps over overlapping candidate sets, or for the whole life
+// of a server process.
 //
-// The zero value is not usable; call NewCache.
+// A cache built with NewCacheCap is bounded: once the configured entry cap
+// is reached the least recently used entries are evicted, so a shared cache
+// can serve a long-running process without growing without bound. The cap
+// is a hard invariant — the cache never holds more than cap entries, even
+// transiently — which is kept simple by allowing in-flight entries to be
+// evicted too: waiters already hold the entry and still receive its result;
+// only the single-flight dedup for late arrivals on that key is lost.
+//
+// The zero value is not usable; call NewCache or NewCacheCap.
 type Cache struct {
 	shards [numShards]cacheShard
+	cap    int // total entry cap; 0 = unbounded
 }
 
 type cacheShard struct {
-	mu sync.Mutex
-	m  map[string]*cacheEntry
+	mu      sync.Mutex
+	bounded bool
+	cap     int // this shard's slice of the total cap, meaningful when bounded
+	m       map[string]*list.Element
+	lru     list.List // front = most recently used; values are *cacheEntry
+
+	hits, misses, evictions int64
 }
 
 // cacheEntry is a single-flight slot: ready is closed once res/err are
 // final, so waiters never observe a partially written result.
 type cacheEntry struct {
+	key   string
 	ready chan struct{}
 	res   core.Result
 	err   error
 }
 
-// NewCache returns an empty memoization cache.
-func NewCache() *Cache {
-	c := &Cache{}
+// NewCache returns an empty, unbounded memoization cache.
+func NewCache() *Cache { return NewCacheCap(0) }
+
+// NewCacheCap returns an empty memoization cache holding at most maxEntries
+// keys; beyond that the least recently used entries are evicted. A
+// non-positive maxEntries means unbounded. The cap is distributed over the
+// internal shards so their quotas sum exactly to maxEntries; keys hash
+// uniformly across shards, so each shard sees an even share of the traffic.
+func NewCacheCap(maxEntries int) *Cache {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	c := &Cache{cap: maxEntries}
+	quota, extra := maxEntries/numShards, maxEntries%numShards
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]*cacheEntry)
+		c.shards[i].m = make(map[string]*list.Element)
+		if maxEntries > 0 {
+			// A shard's quota may legitimately be zero when the total cap
+			// is smaller than the shard count: entries hashing there are
+			// evicted as soon as they are published, keeping the global
+			// bound strict (bounded distinguishes that from "unbounded").
+			c.shards[i].bounded = true
+			c.shards[i].cap = quota
+			if i < extra {
+				c.shards[i].cap++
+			}
+		}
 	}
 	return c
 }
+
+// Cap returns the configured entry cap (0 = unbounded).
+func (c *Cache) Cap() int { return c.cap }
 
 // Len returns the number of memoized keys (including in-flight ones).
 func (c *Cache) Len() int {
@@ -69,23 +113,109 @@ func (c *Cache) Len() int {
 	return n
 }
 
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats struct {
+	// Entries is the current number of memoized keys (including in-flight).
+	Entries int
+	// Cap is the configured entry cap; 0 = unbounded.
+	Cap int
+	// Hits counts do calls answered by an existing (possibly in-flight)
+	// entry; Misses counts calls that ran the computation.
+	Hits, Misses int64
+	// Evictions counts entries dropped to keep the cache under its cap.
+	Evictions int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters. The totals are summed
+// shard by shard without a global lock, so under concurrent traffic the
+// snapshot is approximate (each shard's contribution is itself consistent).
+func (c *Cache) Stats() CacheStats {
+	s := CacheStats{Cap: c.cap}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.m)
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// evictLocked drops least recently used entries until the shard respects
+// its quota. Called with sh.mu held, right after an insertion, so at most
+// a few iterations run. Evicting an in-flight entry is safe: its waiters
+// hold the *cacheEntry and are woken by the computing goroutine regardless
+// of map membership.
+func (sh *cacheShard) evictLocked() {
+	for sh.bounded && len(sh.m) > sh.cap {
+		back := sh.lru.Back()
+		if back == nil {
+			return
+		}
+		sh.lru.Remove(back)
+		delete(sh.m, back.Value.(*cacheEntry).key)
+		sh.evictions++
+	}
+}
+
 // do returns the result for key, computing it with compute on first
 // arrival. hit reports whether an existing (possibly still in-flight)
-// computation was reused. The returned Result is the shared stored value —
-// callers must clone before handing it out.
+// computation was reused. The returned Result is an independent deep copy
+// of the stored value — callers may mutate it freely without corrupting
+// the memoized mapping for later hits. Failed computations return the
+// stored Result untouched (the zero value), preserving bit-identity with a
+// direct core.Solve call.
+//
+// do never deadlocks waiters: the entry is published via defer even when
+// compute panics, in which case the panic is re-published as the entry's
+// error (with the stack attached) to the computing caller and every waiter
+// alike. A long-running process thus survives a poisoned request without
+// wedging every future request that hashes to the same key.
 func (c *Cache) do(key string, compute func() (core.Result, error)) (res core.Result, err error, hit bool) {
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()
-	if e, ok := sh.m[key]; ok {
+	if el, ok := sh.m[key]; ok {
+		e := el.Value.(*cacheEntry)
+		sh.lru.MoveToFront(el)
+		sh.hits++
 		sh.mu.Unlock()
 		<-e.ready
-		return e.res, e.err, true
+		return cloneStored(e.res, e.err), e.err, true
 	}
-	e := &cacheEntry{ready: make(chan struct{})}
-	sh.m[key] = e
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	sh.m[key] = sh.lru.PushFront(e)
+	sh.misses++
+	sh.evictLocked()
 	sh.mu.Unlock()
 
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("batch: memoized computation panicked: %v\n%s", r, debug.Stack())
+		}
+		close(e.ready)
+		res, err = cloneStored(e.res, e.err), e.err
+	}()
 	e.res, e.err = compute()
-	close(e.ready)
-	return e.res, e.err, false
+	return // res, err are assigned by the deferred publisher
+}
+
+// cloneStored hands out an independent copy of a stored success; failures
+// keep the zero Result as-is (cloning would turn its nil mapping slice into
+// an empty one, breaking bit-identity with the sequential call).
+func cloneStored(res core.Result, err error) core.Result {
+	if err != nil {
+		return res
+	}
+	return cloneResult(res)
 }

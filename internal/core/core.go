@@ -460,6 +460,16 @@ func wrap(inst *pipeline.Instance, req Request, m mapping.Mapping, v float64, me
 		if errors.Is(err, interval.ErrInfeasible) || errors.Is(err, matching.ErrInfeasible) {
 			return Result{}, ErrInfeasible
 		}
+		if errors.Is(err, onetoone.ErrWrongPlatform) || errors.Is(err, matching.ErrWrongPlatform) || errors.Is(err, interval.ErrWrongPlatform) {
+			// The dispatcher guarantees each theorem algorithm's platform
+			// class precondition, so a surviving precondition failure means
+			// the platform shape admits no mapping at all under the rule
+			// (one-to-one with fewer processors than stages, interval with
+			// fewer processors than applications). That is infeasibility,
+			// and classifying it as such lets callers like the Pareto
+			// sweeps distinguish "nothing achievable" from a broken query.
+			return Result{}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
 		return Result{}, err
 	}
 	return Result{

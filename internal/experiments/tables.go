@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -44,8 +45,10 @@ type cellCheck struct {
 // run executes the cell check and returns a table row plus an error if the
 // reproduction failed. The random draws happen sequentially up front so the
 // rng stream is identical to a trial-by-trial run, then all trials are
-// solved concurrently as one batch and validated in order.
-func (c *cellCheck) run(rng *rand.Rand) (cellResult, error) {
+// solved concurrently as one batch (under the caller's context, so a
+// table run embedded in a larger process can be cancelled) and validated
+// in order.
+func (c *cellCheck) run(ctx context.Context, rng *rand.Rand) (cellResult, error) {
 	insts := make([]pipeline.Instance, trialsPerCell)
 	reqs := make([]core.Request, trialsPerCell)
 	jobs := make([]batch.Job, trialsPerCell)
@@ -54,7 +57,7 @@ func (c *cellCheck) run(rng *rand.Rand) (cellResult, error) {
 		reqs[t] = c.req(&insts[t], rng)
 		jobs[t] = batch.Job{Inst: &insts[t], Req: reqs[t]}
 	}
-	solved, _ := batch.Solve(jobs, batch.Options{})
+	solved, _ := batch.SolveCtx(ctx, jobs, batch.Options{})
 
 	// The exhaustive oracle dominates a cell's wall time and is independent
 	// per trial, so it fans out too; the validation below stays sequential
@@ -226,6 +229,12 @@ func monoReq(rule mapping.Rule, obj core.Criterion) func(inst *pipeline.Instance
 // Table1 validates every cell of the paper's Table 1 (mono-criterion
 // complexity results).
 func Table1(w io.Writer, seed int64) error {
+	return Table1Ctx(context.Background(), w, seed)
+}
+
+// Table1Ctx is Table1 under a caller-supplied context, passed down to the
+// per-cell batch solves.
+func Table1Ctx(ctx context.Context, w io.Writer, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	polyPeriodOracle := func(inst *pipeline.Instance, req core.Request) (float64, error) {
 		sol, err := exact.MinPeriod(inst, req.Rule, req.Model)
@@ -285,12 +294,18 @@ func Table1(w io.Writer, seed int64) error {
 			gen:         genFullyHet(1), req: monoReq(mapping.Interval, core.Latency), oracle: polyLatencyOracle,
 		},
 	}
-	return renderCells(w, "TABLE 1 - mono-criterion complexity map", cells, rng)
+	return renderCells(ctx, w, "TABLE 1 - mono-criterion complexity map", cells, rng)
 }
 
 // Table2 validates every cell of the paper's Table 2 (multi-criteria
 // complexity results with multi-modal processors).
 func Table2(w io.Writer, seed int64) error {
+	return Table2Ctx(context.Background(), w, seed)
+}
+
+// Table2Ctx is Table2 under a caller-supplied context, passed down to the
+// per-cell batch solves.
+func Table2Ctx(ctx context.Context, w io.Writer, seed int64) error {
 	rng := rand.New(rand.NewSource(seed + 1))
 	// Bound helpers: draw period/latency bounds between the sequential and
 	// fully parallel extremes so problems are usually feasible but
@@ -406,14 +421,14 @@ func Table2(w io.Writer, seed int64) error {
 			},
 		},
 	}
-	return renderCells(w, "TABLE 2 - multi-criteria complexity map (multi-modal processors)", cells, rng)
+	return renderCells(ctx, w, "TABLE 2 - multi-criteria complexity map (multi-modal processors)", cells, rng)
 }
 
-func renderCells(w io.Writer, title string, cells []cellCheck, rng *rand.Rand) error {
+func renderCells(ctx context.Context, w io.Writer, title string, cells []cellCheck, rng *rand.Rand) error {
 	tb := report.New(title, "problem", "platform", "paper", "our method", "validation")
 	var firstErr error
 	for i := range cells {
-		row, err := cells[i].run(rng)
+		row, err := cells[i].run(ctx, rng)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}

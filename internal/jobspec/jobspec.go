@@ -1,0 +1,257 @@
+// Package jobspec is the JSON wire schema shared by the batch-solving
+// front ends — the pipebatch CLI and the pipeserved HTTP service. It
+// defines the job-file document (a default instance plus a list of
+// requests, each optionally carrying its own instance), translates it into
+// engine jobs, and encodes per-job results and batch statistics back out.
+//
+// Keeping the schema in one package guarantees the CLI and the server
+// accept and emit exactly the same documents: a job file written for
+// `pipebatch -in` can be POSTed verbatim to `/v1/batch`.
+//
+// # Non-finite values
+//
+// The solver legitimately produces non-finite answers — an empty Pareto
+// frontier answers +Inf, an unconstrained bound is +Inf — but
+// encoding/json refuses to marshal them. The Float type renders any
+// non-finite value as JSON null instead, so degenerate answers reach
+// clients as null rather than killing the response with an encoding error.
+package jobspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// Float marshals like float64 except that NaN and ±Inf become JSON null
+// (encoding/json errors on non-finite values). It is an output-only
+// convenience: documents are decoded into plain float64 fields, which only
+// accept finite JSON numbers anyway.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// Request is the JSON form of a solver request. Global weighted thresholds
+// (PeriodBound, LatencyBound) expand to per-application arrays as X / W_a;
+// explicit per-application arrays win over the global forms.
+type Request struct {
+	Rule          string    `json:"rule,omitempty"`
+	Model         string    `json:"model,omitempty"`
+	Objective     string    `json:"objective,omitempty"`
+	PeriodBound   float64   `json:"periodBound,omitempty"`
+	LatencyBound  float64   `json:"latencyBound,omitempty"`
+	PeriodBounds  []float64 `json:"periodBounds,omitempty"`
+	LatencyBounds []float64 `json:"latencyBounds,omitempty"`
+	EnergyBudget  float64   `json:"energyBudget,omitempty"`
+	Seed          int64     `json:"seed,omitempty"`
+	ExactLimit    int64     `json:"exactLimit,omitempty"`
+	HeurIters     int       `json:"heurIters,omitempty"`
+	HeurRestarts  int       `json:"heurRestarts,omitempty"`
+}
+
+// Job is one entry of a job file: a request plus an optional instance
+// overriding the file-level default.
+type Job struct {
+	Instance json.RawMessage `json:"instance,omitempty"`
+	Request  Request         `json:"request"`
+}
+
+// File is the top-level batch document.
+type File struct {
+	// Instance is the default instance, used by jobs without their own.
+	Instance json.RawMessage `json:"instance,omitempty"`
+	Jobs     []Job           `json:"jobs"`
+}
+
+// DecodeFile parses a batch document, rejecting unknown fields. It
+// validates only the document structure; instance decoding happens in
+// BatchJobs so per-job errors carry the job index.
+func DecodeFile(r io.Reader) (File, error) {
+	var doc File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return File{}, fmt.Errorf("jobspec: decoding job file: %w", err)
+	}
+	if len(doc.Jobs) == 0 {
+		return File{}, fmt.Errorf("jobspec: job file has no jobs")
+	}
+	return doc, nil
+}
+
+// BatchJobs translates the document into engine jobs: every instance is
+// decoded and validated once (jobs without their own instance share the
+// decoded default), and every request is parsed against its instance.
+func (f *File) BatchJobs() ([]batch.Job, error) {
+	var defaultInst *pipeline.Instance
+	if f.Instance != nil {
+		inst, err := pipeline.DecodeJSON(bytes.NewReader(f.Instance))
+		if err != nil {
+			return nil, fmt.Errorf("jobspec: default instance: %w", err)
+		}
+		defaultInst = &inst
+	}
+	jobs := make([]batch.Job, len(f.Jobs))
+	for i, jj := range f.Jobs {
+		inst := defaultInst
+		if jj.Instance != nil {
+			dec, err := pipeline.DecodeJSON(bytes.NewReader(jj.Instance))
+			if err != nil {
+				return nil, fmt.Errorf("jobspec: job %d instance: %w", i, err)
+			}
+			inst = &dec
+		}
+		if inst == nil {
+			return nil, fmt.Errorf("jobspec: job %d has no instance and no default is set", i)
+		}
+		req, err := BuildRequest(inst, jj.Request)
+		if err != nil {
+			return nil, fmt.Errorf("jobspec: job %d: %w", i, err)
+		}
+		jobs[i] = batch.Job{Inst: inst, Req: req}
+	}
+	return jobs, nil
+}
+
+// BuildRequest translates the JSON request into a core.Request, expanding
+// the global weighted thresholds into per-application bounds. Defaults:
+// interval rule, overlap model, period objective.
+func BuildRequest(inst *pipeline.Instance, rj Request) (core.Request, error) {
+	req := core.Request{
+		EnergyBudget: rj.EnergyBudget,
+		Seed:         rj.Seed,
+		ExactLimit:   rj.ExactLimit,
+		HeurIters:    rj.HeurIters,
+		HeurRestarts: rj.HeurRestarts,
+	}
+	var err error
+	if req.Rule, err = ParseRuleDefault(rj.Rule); err != nil {
+		return core.Request{}, err
+	}
+	if req.Model, err = ParseModelDefault(rj.Model); err != nil {
+		return core.Request{}, err
+	}
+	if req.Objective, err = core.ParseCriterion(orDefault(rj.Objective, "period")); err != nil {
+		return core.Request{}, err
+	}
+	req.PeriodBounds = rj.PeriodBounds
+	if req.PeriodBounds == nil && rj.PeriodBound > 0 {
+		req.PeriodBounds = core.UniformBounds(inst, rj.PeriodBound)
+	}
+	req.LatencyBounds = rj.LatencyBounds
+	if req.LatencyBounds == nil && rj.LatencyBound > 0 {
+		req.LatencyBounds = core.UniformBounds(inst, rj.LatencyBound)
+	}
+	return req, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// ParseRuleDefault parses a wire rule string, defaulting an empty one to
+// "interval". All front ends share these defaults so that the same
+// document means the same problem everywhere.
+func ParseRuleDefault(s string) (mapping.Rule, error) {
+	return mapping.ParseRule(orDefault(s, "interval"))
+}
+
+// ParseModelDefault parses a wire communication-model string, defaulting
+// an empty one to "overlap".
+func ParseModelDefault(s string) (pipeline.CommModel, error) {
+	return pipeline.ParseCommModel(orDefault(s, "overlap"))
+}
+
+// Result is one output slot; a failed job carries only Error.
+type Result struct {
+	Value   Float            `json:"value,omitempty"`
+	Method  string           `json:"method,omitempty"`
+	Optimal bool             `json:"optimal,omitempty"`
+	Period  Float            `json:"period,omitempty"`
+	Latency Float            `json:"latency,omitempty"`
+	Energy  Float            `json:"energy,omitempty"`
+	Mapping *json.RawMessage `json:"mapping,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// Stats mirrors batch.Stats on the wire.
+type Stats struct {
+	Jobs      int            `json:"jobs"`
+	CacheHits int            `json:"cacheHits"`
+	Errors    int            `json:"errors"`
+	WallMs    float64        `json:"wallMs"`
+	Methods   map[string]int `json:"methods"`
+}
+
+// Output is the batch response document: per-job results in input order
+// plus aggregate statistics.
+type Output struct {
+	Results []Result `json:"results"`
+	Stats   Stats    `json:"stats"`
+}
+
+// EncodeResult converts one engine result to its wire form.
+func EncodeResult(jr batch.JobResult) (Result, error) {
+	if jr.Err != nil {
+		return Result{Error: jr.Err.Error()}, nil
+	}
+	var buf bytes.Buffer
+	if err := mapping.EncodeJSON(&buf, &jr.Result.Mapping); err != nil {
+		return Result{}, err
+	}
+	raw := json.RawMessage(buf.Bytes())
+	return Result{
+		Value:   Float(jr.Result.Value),
+		Method:  string(jr.Result.Method),
+		Optimal: jr.Result.Optimal,
+		Period:  Float(jr.Result.Metrics.Period),
+		Latency: Float(jr.Result.Metrics.Latency),
+		Energy:  Float(jr.Result.Metrics.Energy),
+		Mapping: &raw,
+	}, nil
+}
+
+// EncodeStats converts engine statistics to their wire form.
+func EncodeStats(s batch.Stats) Stats {
+	out := Stats{
+		Jobs:      s.Jobs,
+		CacheHits: s.CacheHits,
+		Errors:    s.Errors,
+		WallMs:    float64(s.Wall.Microseconds()) / 1000,
+		Methods:   make(map[string]int, len(s.Methods)),
+	}
+	for m, n := range s.Methods {
+		out.Methods[string(m)] = n
+	}
+	return out
+}
+
+// EncodeOutput builds the full batch response document.
+func EncodeOutput(results []batch.JobResult, stats batch.Stats) (Output, error) {
+	out := Output{Results: make([]Result, 0, len(results)), Stats: EncodeStats(stats)}
+	for i := range results {
+		rj, err := EncodeResult(results[i])
+		if err != nil {
+			return Output{}, err
+		}
+		out.Results = append(out.Results, rj)
+	}
+	return out, nil
+}

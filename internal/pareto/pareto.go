@@ -14,8 +14,11 @@
 package pareto
 
 import (
+	"context"
+	"errors"
 	"math"
 
+	"repro/internal/algo/exact"
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/fmath"
@@ -88,11 +91,14 @@ func periodCandidates(inst *pipeline.Instance, model pipeline.CommModel) []float
 // candidate period concurrently (one batch job per candidate; core.Solve
 // dispatches each to the paper's polynomial algorithm for the platform
 // class) and filters the feasible results down to the frontier. A
-// candidate that fails to solve — infeasible bounds, or a platform shape
-// the rule cannot map at all (e.g. one-to-one with fewer processors than
-// stages) — is skipped, matching the sequential implementation: an empty
-// frontier, not an error, reports that nothing is achievable.
-func sweepFrontier(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, cands []float64) ([]Point, error) {
+// candidate whose bounds no mapping can satisfy (core.ErrInfeasible —
+// including platform shapes the rule cannot map at all, e.g. one-to-one
+// with fewer processors than stages) is skipped, matching the sequential
+// implementation: an empty frontier, not an error, reports that nothing is
+// achievable. Every other job error — an unsupported criteria combination,
+// an invalid instance, a cancelled context — is propagated: swallowing it
+// would disguise a broken query as "nothing achievable".
+func sweepFrontier(ctx context.Context, inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, cands []float64, opts batch.Options) ([]Point, error) {
 	jobs := make([]batch.Job, len(cands))
 	for i, cand := range cands {
 		jobs[i] = batch.Job{Inst: inst, Req: core.Request{
@@ -100,11 +106,14 @@ func sweepFrontier(inst *pipeline.Instance, rule mapping.Rule, model pipeline.Co
 			PeriodBounds: core.UniformBounds(inst, cand),
 		}}
 	}
-	results, _ := batch.Solve(jobs, batch.Options{})
+	results, _ := batch.SolveCtx(ctx, jobs, opts)
 	var points []Point
 	for _, jr := range results {
 		if jr.Err != nil {
-			continue // not achievable at this candidate period
+			if errors.Is(jr.Err, core.ErrInfeasible) {
+				continue // not achievable at this candidate period
+			}
+			return nil, jr.Err
 		}
 		points = append(points, Point{
 			Period:  jr.Result.Metrics.Period,
@@ -121,7 +130,14 @@ func sweepFrontier(inst *pipeline.Instance, rule mapping.Rule, model pipeline.Co
 // across the batch worker pool). Each frontier point's mapping is a witness
 // achieving (period <= Point.Period, Point.Energy) with minimal energy.
 func PeriodEnergyFullyHom(inst *pipeline.Instance, model pipeline.CommModel) ([]Point, error) {
-	return sweepFrontier(inst, mapping.Interval, model, periodCandidates(inst, model))
+	return PeriodEnergyFullyHomCtx(context.Background(), inst, model, batch.Options{})
+}
+
+// PeriodEnergyFullyHomCtx is PeriodEnergyFullyHom with cancellation and
+// batch options (worker bound, shared cache): a server can abort a sweep on
+// request timeout and reuse memoized candidate solves across requests.
+func PeriodEnergyFullyHomCtx(ctx context.Context, inst *pipeline.Instance, model pipeline.CommModel, opts batch.Options) ([]Point, error) {
+	return sweepFrontier(ctx, inst, mapping.Interval, model, periodCandidates(inst, model), opts)
 }
 
 // PeriodEnergyOneToOneCommHom computes the one-to-one period/energy
@@ -129,6 +145,12 @@ func PeriodEnergyFullyHom(inst *pipeline.Instance, model pipeline.CommModel) ([]
 // 19 matching at every candidate period (W_a times any stage cycle time at
 // any processor mode), in parallel across the batch worker pool.
 func PeriodEnergyOneToOneCommHom(inst *pipeline.Instance, model pipeline.CommModel) ([]Point, error) {
+	return PeriodEnergyOneToOneCommHomCtx(context.Background(), inst, model, batch.Options{})
+}
+
+// PeriodEnergyOneToOneCommHomCtx is PeriodEnergyOneToOneCommHom with
+// cancellation and batch options (worker bound, shared cache).
+func PeriodEnergyOneToOneCommHomCtx(ctx context.Context, inst *pipeline.Instance, model pipeline.CommModel, opts batch.Options) ([]Point, error) {
 	b, _ := inst.Platform.HomogeneousLinks()
 	var cands []float64
 	for a := range inst.Apps {
@@ -149,7 +171,39 @@ func PeriodEnergyOneToOneCommHom(inst *pipeline.Instance, model pipeline.CommMod
 			}
 		}
 	}
-	return sweepFrontier(inst, mapping.OneToOne, model, fmath.SortedUnique(cands))
+	return sweepFrontier(ctx, inst, mapping.OneToOne, model, fmath.SortedUnique(cands), opts)
+}
+
+// PeriodEnergyCtx computes the period/energy trade-off frontier under the
+// given rule, dispatching per platform class: on the classes where the
+// paper's bi-criteria algorithms are polynomial (fully homogeneous interval
+// mappings, communication homogeneous one-to-one mappings) the frontier is
+// built by the polynomial candidate sweeps above; otherwise it falls back
+// to exhaustive enumeration, subject to the same search-space limits as
+// core.Solve. The context cancels the candidate sweeps between jobs; the
+// exhaustive fallback only honours it up front (the enumeration itself is
+// not preemptible).
+func PeriodEnergyCtx(ctx context.Context, inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, opts batch.Options) ([]Point, error) {
+	cls := inst.Platform.Classify()
+	switch {
+	case rule == mapping.Interval && cls == pipeline.FullyHomogeneous:
+		return PeriodEnergyFullyHomCtx(ctx, inst, model, opts)
+	case rule == mapping.OneToOne && cls != pipeline.FullyHeterogeneous:
+		return PeriodEnergyOneToOneCommHomCtx(ctx, inst, model, opts)
+	default:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		full, err := exact.ParetoFront(inst, rule, model)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]Point, 0, len(full))
+		for _, pt := range full {
+			pts = append(pts, Point{Period: pt.Period, Energy: pt.Energy, Mapping: pt.Mapping})
+		}
+		return Filter(pts), nil
+	}
 }
 
 // MinEnergyUnderPeriod answers the server problem from a frontier: the

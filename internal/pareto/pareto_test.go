@@ -1,11 +1,15 @@
 package pareto
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/algo/exact"
+	"repro/internal/batch"
+	"repro/internal/core"
 	"repro/internal/fmath"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
@@ -140,6 +144,89 @@ func TestOneToOneImpossiblePlatformYieldsEmptyFrontier(t *testing.T) {
 	}
 	if len(front) != 0 {
 		t.Fatalf("impossible platform returned %d points", len(front))
+	}
+}
+
+// TestSweepPropagatesNonInfeasibleErrors is the silent-error regression: a
+// broken query (here, an instance whose platform is sized for a different
+// application count, which fails validation inside core.Solve) must surface
+// as an error, not as a silently empty frontier. Only genuine
+// infeasibility may be skipped.
+func TestSweepPropagatesNonInfeasibleErrors(t *testing.T) {
+	bad := pipeline.Instance{
+		Apps: []pipeline.Application{pipeline.NewUniformApplication("a", 2, 1)},
+		// Virtual links sized for two applications, instance has one.
+		Platform: pipeline.NewHomogeneousPlatform(3, []float64{1, 2}, 1, 2),
+		Energy:   pipeline.DefaultEnergy,
+	}
+	front, err := PeriodEnergyFullyHom(&bad, pipeline.Overlap)
+	if err == nil {
+		t.Fatalf("invalid instance produced frontier %v, want error", points(front))
+	}
+	if errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("validation failure misreported as infeasibility: %v", err)
+	}
+}
+
+// TestSweepCancellation: a cancelled context aborts the sweep with the
+// context's error instead of returning a truncated frontier.
+func TestSweepCancellation(t *testing.T) {
+	inst := workload.MustInstance(rand.New(rand.NewSource(74)), workload.Config{
+		Apps: 2, MinStages: 2, MaxStages: 3, Procs: 4, Modes: 2,
+		Class: pipeline.FullyHomogeneous, MaxWork: 6, MaxData: 3, MaxSpeed: 5,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PeriodEnergyFullyHomCtx(ctx, &inst, pipeline.Overlap, batch.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if _, err := PeriodEnergyCtx(ctx, &inst, mapping.Interval, pipeline.Overlap, batch.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled dispatch returned %v, want context.Canceled", err)
+	}
+}
+
+// TestPeriodEnergyCtxSharedCache: a server-shaped caller hands the same
+// cache to two sweeps; the second must be answered from memo hits.
+func TestPeriodEnergyCtxSharedCache(t *testing.T) {
+	inst := workload.MustInstance(rand.New(rand.NewSource(75)), workload.Config{
+		Apps: 1, MinStages: 2, MaxStages: 2, Procs: 3, Modes: 2,
+		Class: pipeline.FullyHomogeneous, MaxWork: 5, MaxData: 2, MaxSpeed: 4,
+	})
+	cache := batch.NewCacheCap(1024)
+	first, err := PeriodEnergyCtx(context.Background(), &inst, mapping.Interval, pipeline.Overlap, batch.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Stats().Misses
+	second, err := PeriodEnergyCtx(context.Background(), &inst, mapping.Interval, pipeline.Overlap, batch.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Misses; got != misses {
+		t.Errorf("second sweep recomputed %d candidates despite the shared cache", got-misses)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached sweep changed the frontier: %d vs %d points", len(first), len(second))
+	}
+	for i := range first {
+		if !fmath.EQ(first[i].Period, second[i].Period) || !fmath.EQ(first[i].Energy, second[i].Energy) {
+			t.Errorf("point %d differs across cached sweeps", i)
+		}
+	}
+}
+
+// TestEmptyFrontierQueries pins the degenerate-frontier contract relied on
+// by the CLI and server encoders: both queries answer +Inf on an empty (or
+// nil) frontier, and the JSON layer must render that as null (stdlib
+// json.Marshal errors on non-finite floats; see internal/jobspec).
+func TestEmptyFrontierQueries(t *testing.T) {
+	for _, front := range [][]Point{nil, {}} {
+		if got := MinEnergyUnderPeriod(front, 2); !math.IsInf(got, 1) {
+			t.Errorf("MinEnergyUnderPeriod(empty) = %g, want +Inf", got)
+		}
+		if got := MinPeriodUnderEnergy(front, 100); !math.IsInf(got, 1) {
+			t.Errorf("MinPeriodUnderEnergy(empty) = %g, want +Inf", got)
+		}
 	}
 }
 

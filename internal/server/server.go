@@ -1,0 +1,487 @@
+// Package server exposes the solver as a long-running HTTP JSON service —
+// the first step of the roadmap's production-scale goal. It wraps the
+// concurrent batch engine (internal/batch) behind REST-ish endpoints:
+//
+//	POST /v1/solve     one request        -> one result
+//	POST /v1/batch     pipebatch job file -> per-job results + batch stats
+//	POST /v1/pareto    instance + rule    -> period/energy frontier + queries
+//	POST /v1/simulate  instance + mapping -> measured vs analytic metrics
+//	GET  /healthz      liveness probe
+//	GET  /stats        cache size/hit rate, per-method counts, in-flight
+//
+// All document schemas are shared with the CLI front ends via
+// internal/jobspec, so a job file written for `pipebatch -in` can be
+// POSTed verbatim to /v1/batch.
+//
+// The server is built for a process that stays up: every request runs
+// under a per-request timeout enforced through context cancellation (the
+// batch engine stops picking up jobs once the context is done), the memo
+// cache is bounded (sharded LRU, configurable entry cap) so it can be
+// shared across all requests for the life of the process, and a panic in a
+// handler or inside a memoized computation is recovered into an error
+// response without wedging concurrent waiters on the same cache key.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/jobspec"
+	"repro/internal/mapping"
+	"repro/internal/pareto"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds the solver worker pool per request; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheCap bounds the shared memoization cache (number of entries);
+	// <= 0 means unbounded. A long-running deployment should set a cap.
+	CacheCap int
+	// Timeout is the per-request wall-clock budget; 0 disables it. When it
+	// expires the request's context is cancelled: queued solver jobs
+	// return the context error and the response reports 504.
+	Timeout time.Duration
+	// Logger receives panic reports and lifecycle messages; nil discards.
+	Logger *log.Logger
+}
+
+// Server is the HTTP solver service. Create with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *batch.Cache
+	log   *log.Logger
+	mux   *http.ServeMux
+	start time.Time
+
+	inFlight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[string]int64
+	methods  map[string]int64
+}
+
+// New builds a Server with a fresh bounded cache.
+func New(cfg Config) *Server {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    batch.NewCacheCap(cfg.CacheCap),
+		log:      logger,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		requests: make(map[string]int64),
+		methods:  make(map[string]int64),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/pareto", s.handlePareto)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Cache exposes the shared memoization cache (for stats and tests).
+func (s *Server) Cache() *batch.Cache { return s.cache }
+
+// ServeHTTP implements http.Handler: it tracks in-flight requests, applies
+// the per-request timeout, and converts a handler panic into a 500 instead
+// of killing the process.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	// Count by registered route, not by raw URL path: the counter map must
+	// stay bounded for the life of the process no matter what paths
+	// clients (or scanners) probe, so everything unrouted shares a bucket.
+	_, pattern := s.mux.Handler(r)
+	key := "unmatched"
+	if pattern != "" {
+		key = pattern
+		if i := strings.IndexByte(key, ' '); i >= 0 {
+			key = key[i+1:] // strip the "METHOD " prefix
+		}
+	}
+	s.mu.Lock()
+	s.requests[key]++
+	s.mu.Unlock()
+
+	if s.cfg.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.log.Printf("server: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// batchOptions are the engine options every request shares: the bounded
+// worker pool and the server-lifetime cache.
+func (s *Server) batchOptions() batch.Options {
+	return batch.Options{Workers: s.cfg.Workers, Cache: s.cache}
+}
+
+// countMethods folds a batch's per-method counts into the server totals.
+func (s *Server) countMethods(stats batch.Stats) {
+	s.mu.Lock()
+	for m, n := range stats.Methods {
+		s.methods[string(m)] += int64(n)
+	}
+	s.mu.Unlock()
+}
+
+// writeJSON emits a 200 response document.
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) // past WriteHeader, an encode error has no channel left
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// solveStatus maps a solver error to an HTTP status: client-shaped
+// failures (infeasible bounds, unsupported criteria) are 422, an expired
+// request budget is 504, anything else is 500.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInfeasible), errors.Is(err, core.ErrUnsupported):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decodeBody decodes a request body into dst, rejecting unknown fields.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// handleSolve runs one request through the engine (sharing the cache and
+// worker pool with every other endpoint) and returns the jobspec result
+// document. Results are bit-identical to calling repro.Solve directly.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var body jobspec.Job
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body.Instance == nil {
+		writeError(w, http.StatusBadRequest, errors.New("solve request has no instance"))
+		return
+	}
+	file := jobspec.File{Instance: body.Instance, Jobs: []jobspec.Job{{Request: body.Request}}}
+	jobs, err := file.BatchJobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, stats := batch.SolveCtx(r.Context(), jobs, s.batchOptions())
+	s.countMethods(stats)
+	if err := results[0].Err; err != nil {
+		writeError(w, solveStatus(err), err)
+		return
+	}
+	doc, err := jobspec.EncodeResult(results[0])
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleBatch accepts a pipebatch job file and responds with the pipebatch
+// output document. Per-job solver failures are reported in their slots and
+// do not fail the request; an expired request budget does (504), since the
+// remaining slots only carry the context error.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	doc, err := jobspec.DecodeFile(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, err := doc.BatchJobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, stats := batch.SolveCtx(r.Context(), jobs, s.batchOptions())
+	s.countMethods(stats)
+	// Abort only if the expired budget actually cancelled jobs: deciding
+	// from the result slots (rather than re-reading the context) keeps a
+	// batch whose last job finished just before the deadline a success.
+	cancelled := 0
+	var ctxErr error
+	for i := range results {
+		if err := results[i].Err; err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			cancelled++
+			ctxErr = err
+		}
+	}
+	if cancelled > 0 {
+		writeError(w, solveStatus(ctxErr), fmt.Errorf("batch aborted with %d of %d jobs cancelled: %w",
+			cancelled, stats.Jobs, ctxErr))
+		return
+	}
+	out, err := jobspec.EncodeOutput(results, stats)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// paretoRequest is the /v1/pareto document.
+type paretoRequest struct {
+	Instance json.RawMessage `json:"instance"`
+	Rule     string          `json:"rule,omitempty"`
+	Model    string          `json:"model,omitempty"`
+	// PeriodTarget, if present, asks the server problem: the least energy
+	// whose period does not exceed the target.
+	PeriodTarget *float64 `json:"periodTarget,omitempty"`
+	// EnergyBudget, if present, asks the laptop problem: the best period
+	// achievable within the budget.
+	EnergyBudget *float64 `json:"energyBudget,omitempty"`
+	// IncludeMappings attaches each frontier point's witness mapping.
+	IncludeMappings bool `json:"includeMappings,omitempty"`
+}
+
+type paretoPointJSON struct {
+	Period  jobspec.Float    `json:"period"`
+	Energy  jobspec.Float    `json:"energy"`
+	Mapping *json.RawMessage `json:"mapping,omitempty"`
+}
+
+type paretoResponse struct {
+	Points []paretoPointJSON `json:"points"`
+	// The answers are null (not absent) when the frontier cannot satisfy
+	// the query: +Inf has no JSON encoding.
+	MinEnergyUnderPeriod *jobspec.Float `json:"minEnergyUnderPeriod,omitempty"`
+	MinPeriodUnderEnergy *jobspec.Float `json:"minPeriodUnderEnergy,omitempty"`
+}
+
+// handlePareto builds the period/energy frontier for the instance and
+// optionally answers the paper's server and laptop problems on it. An
+// empty frontier with a query answers null (the +Inf degenerate case).
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var body paretoRequest
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body.Instance == nil {
+		writeError(w, http.StatusBadRequest, errors.New("pareto request has no instance"))
+		return
+	}
+	inst, err := pipeline.DecodeJSON(bytes.NewReader(body.Instance))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rule, err := jobspec.ParseRuleDefault(body.Rule)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := jobspec.ParseModelDefault(body.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	front, err := pareto.PeriodEnergyCtx(r.Context(), &inst, rule, model, s.batchOptions())
+	if err != nil {
+		writeError(w, solveStatus(err), err)
+		return
+	}
+	resp := paretoResponse{Points: make([]paretoPointJSON, 0, len(front))}
+	for i := range front {
+		pt := paretoPointJSON{Period: jobspec.Float(front[i].Period), Energy: jobspec.Float(front[i].Energy)}
+		if body.IncludeMappings {
+			var buf bytes.Buffer
+			if err := mapping.EncodeJSON(&buf, &front[i].Mapping); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			raw := json.RawMessage(buf.Bytes())
+			pt.Mapping = &raw
+		}
+		resp.Points = append(resp.Points, pt)
+	}
+	if body.PeriodTarget != nil {
+		v := jobspec.Float(pareto.MinEnergyUnderPeriod(front, *body.PeriodTarget))
+		resp.MinEnergyUnderPeriod = &v
+	}
+	if body.EnergyBudget != nil {
+		v := jobspec.Float(pareto.MinPeriodUnderEnergy(front, *body.EnergyBudget))
+		resp.MinPeriodUnderEnergy = &v
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// simulateRequest is the /v1/simulate document.
+type simulateRequest struct {
+	Instance json.RawMessage `json:"instance"`
+	Mapping  json.RawMessage `json:"mapping"`
+	Model    string          `json:"model,omitempty"`
+	Datasets int             `json:"datasets,omitempty"`
+}
+
+type simAppJSON struct {
+	App             string        `json:"app"`
+	MeasuredPeriod  jobspec.Float `json:"measuredPeriod"`
+	MeasuredLatency jobspec.Float `json:"measuredLatency"`
+	AnalyticPeriod  jobspec.Float `json:"analyticPeriod"`
+	AnalyticLatency jobspec.Float `json:"analyticLatency"`
+}
+
+type simulateResponse struct {
+	Results []simAppJSON `json:"results"`
+}
+
+// handleSimulate replays a mapping through the discrete-event simulator
+// and reports measured next to analytic period and latency per
+// application (the same numbers pipesim prints as a table).
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var body simulateRequest
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body.Instance == nil || body.Mapping == nil {
+		writeError(w, http.StatusBadRequest, errors.New("simulate request needs instance and mapping"))
+		return
+	}
+	inst, err := pipeline.DecodeJSON(bytes.NewReader(body.Instance))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := mapping.DecodeJSON(bytes.NewReader(body.Mapping))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := m.Validate(&inst, mapping.Interval); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	model, err := jobspec.ParseModelDefault(body.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, err := sim.Simulate(&inst, &m, model, sim.Options{Datasets: body.Datasets})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := simulateResponse{Results: make([]simAppJSON, 0, len(results))}
+	for a, res := range results {
+		name := inst.Apps[a].Name
+		if name == "" {
+			name = fmt.Sprintf("app%d", a+1)
+		}
+		resp.Results = append(resp.Results, simAppJSON{
+			App:             name,
+			MeasuredPeriod:  jobspec.Float(res.SteadyPeriod),
+			MeasuredLatency: jobspec.Float(res.FirstLatency),
+			AnalyticPeriod:  jobspec.Float(mapping.AppPeriod(&inst, &m, a, model)),
+			AnalyticLatency: jobspec.Float(mapping.AppLatency(&inst, &m, a)),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// cacheStatsJSON is the /stats cache block.
+type cacheStatsJSON struct {
+	Entries   int     `json:"entries"`
+	Cap       int     `json:"cap"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+type statsResponse struct {
+	UptimeMs float64          `json:"uptimeMs"`
+	InFlight int64            `json:"inFlight"`
+	Requests map[string]int64 `json:"requests"`
+	Methods  map[string]int64 `json:"methods"`
+	Cache    cacheStatsJSON   `json:"cache"`
+}
+
+// handleStats reports the operational counters: in-flight requests,
+// per-endpoint and per-method totals, and the shared cache's size, cap,
+// hit rate and eviction count.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	resp := statsResponse{
+		UptimeMs: float64(time.Since(s.start).Microseconds()) / 1000,
+		InFlight: s.inFlight.Load(),
+		Requests: make(map[string]int64),
+		Methods:  make(map[string]int64),
+		Cache: cacheStatsJSON{
+			Entries:   cs.Entries,
+			Cap:       cs.Cap,
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			HitRate:   cs.HitRate(),
+		},
+	}
+	s.mu.Lock()
+	for k, v := range s.requests {
+		resp.Requests[k] = v
+	}
+	for k, v := range s.methods {
+		resp.Methods[k] = v
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
