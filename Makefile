@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench experiments serve clean
+.PHONY: all build test check fmt vet race bench bench-corpus diff fuzz-smoke experiments serve clean
 
 all: check
 
@@ -26,10 +26,25 @@ vet:
 # engine and its consumers (pareto sweeps, the experiment table drivers,
 # the HTTP server, the public SolveBatch API).
 race:
-	$(GO) test -race ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ .
+	$(GO) test -race ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ ./internal/diffcheck/ .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-corpus regenerates the committed solver baseline BENCH_solver.json
+# (per-variant ns/op + allocs + cache hit rate over the seeded corpus).
+bench-corpus:
+	$(GO) test -bench=Corpus -benchtime=1x -run=^$$ .
+
+# diff runs the differential verification corpus (dispatcher vs brute
+# force vs simulator; see EXPERIMENTS.md section DIFF).
+diff:
+	$(GO) run ./cmd/pipebench -exp diff -instances 1080
+
+# fuzz-smoke runs each jobspec fuzz target briefly, as CI does.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=^FuzzFileRoundTrip$$ -fuzztime=30s ./internal/jobspec/
+	$(GO) test -run=^$$ -fuzz=^FuzzFloatJSON$$ -fuzztime=30s ./internal/jobspec/
 
 # experiments regenerates the paper-versus-measured record (EXPERIMENTS.md).
 experiments:

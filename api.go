@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/gen"
 	"repro/internal/general"
 	"repro/internal/mapping"
 	"repro/internal/pareto"
@@ -259,6 +260,20 @@ func NewHeterogeneousPlatform(speedSets [][]float64, bw, in, out [][]float64) Pl
 // internal/workload for the configuration type.
 func RandomInstance(rng *rand.Rand, cfg workload.Config) (Instance, error) {
 	return workload.Instance(rng, cfg)
+}
+
+// GenerateInstance draws scenario `index` of the seeded verification
+// corpus (see internal/gen): a small instance plus a matching solver
+// request, cycling through every platform class, communication model,
+// mapping rule and criterion combination as the index advances (any 36
+// consecutive indices cover all combinations exactly once), with
+// degenerate shapes mixed in every 5th draw. The draw is a pure function
+// of (seed, index). This is the same corpus the differential harness
+// (internal/diffcheck) verifies and BenchmarkCorpus measures, so clients
+// can replay the exact instances behind BENCH_solver.json.
+func GenerateInstance(seed int64, index int) (Instance, Request) {
+	sc := gen.DefaultSpace().Sample(seed, index)
+	return sc.Inst, sc.Req
 }
 
 // WorkloadConfig re-exports the random instance configuration.

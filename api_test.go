@@ -11,6 +11,29 @@ import (
 	"repro/internal/fmath"
 )
 
+// TestPublicAPIGenerateInstance exercises the corpus generator export:
+// deterministic draws, valid instances, and solvable requests.
+func TestPublicAPIGenerateInstance(t *testing.T) {
+	for i := 0; i < 36; i++ {
+		inst, req := GenerateInstance(1, i)
+		inst2, req2 := GenerateInstance(1, i)
+		if !reflect.DeepEqual(inst, inst2) || !reflect.DeepEqual(req, req2) {
+			t.Fatalf("draw %d not deterministic", i)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("draw %d: invalid instance: %v", i, err)
+		}
+		if _, err := Solve(&inst, req); err != nil && !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("draw %d: solve failed: %v", i, err)
+		}
+	}
+	inst, _ := GenerateInstance(1, 0)
+	other, _ := GenerateInstance(2, 0)
+	if reflect.DeepEqual(inst, other) {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
 // TestPublicAPIQuickstart walks the README quick start end to end.
 func TestPublicAPIQuickstart(t *testing.T) {
 	inst := MotivatingExample()

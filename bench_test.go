@@ -7,9 +7,14 @@ package repro
 // regenerates every number recorded in EXPERIMENTS.md.
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/algo/exact"
@@ -18,6 +23,7 @@ import (
 	"repro/internal/algo/matching"
 	"repro/internal/algo/onetoone"
 	"repro/internal/core"
+	"repro/internal/gen"
 	"repro/internal/mapping"
 	"repro/internal/npc"
 	"repro/internal/pipeline"
@@ -393,4 +399,159 @@ func BenchmarkCoreSolveDispatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// corpusSeed pins the BenchmarkCorpus draw so BENCH_solver.json is
+// comparable across commits; the instances behind every variant can be
+// replayed with GenerateInstance(corpusSeed, i).
+const corpusSeed int64 = 1
+
+// corpusVariantRecord is one per-variant entry of BENCH_solver.json.
+type corpusVariantRecord struct {
+	// Name is the (class, rule, model, criterion) combination label.
+	Name string `json:"name"`
+	// Scenarios is how many corpus instances one op solves.
+	Scenarios int `json:"scenarios"`
+	// N is the benchmark iteration count behind the numbers.
+	N int `json:"n"`
+	// NsPerOp and AllocsPerOp are per op, i.e. per batch of Scenarios
+	// solves.
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// corpusCacheRecord is the memo-cache block of BENCH_solver.json.
+type corpusCacheRecord struct {
+	Jobs      int     `json:"jobs"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	HitRate   float64 `json:"hitRate"`
+	Entries   int     `json:"entries"`
+	NsPerOp   float64 `json:"nsPerOp"`
+	N         int     `json:"n"`
+	Evictions int64   `json:"evictions"`
+}
+
+// corpusDoc is the BENCH_solver.json document.
+type corpusDoc struct {
+	// Regenerate documents the exact command that rewrites this file.
+	Regenerate string                `json:"regenerate"`
+	Seed       int64                 `json:"seed"`
+	GoOS       string                `json:"goos"`
+	GoArch     string                `json:"goarch"`
+	Variants   []corpusVariantRecord `json:"variants"`
+	Cache      corpusCacheRecord     `json:"cache"`
+}
+
+// BenchmarkCorpus is the solver performance baseline: it solves the seeded
+// verification corpus (the same instances internal/diffcheck checks for
+// correctness) grouped by (class, rule, model, criterion) variant, plus a
+// shared-cache SolveBatch pass, and writes the per-variant ns/op, allocs
+// and cache hit rate to BENCH_solver.json so future changes have a
+// recorded baseline to beat:
+//
+//	go test -bench=Corpus -benchtime=1x -run='^$' .
+func BenchmarkCorpus(b *testing.B) {
+	space := gen.DefaultSpace()
+	scenarios := space.Corpus(corpusSeed, 2*space.CombinationCount())
+
+	variants := make(map[string][]*gen.Scenario)
+	var order []string
+	for i := range scenarios {
+		sc := &scenarios[i]
+		name := sc.Combo()
+		if _, ok := variants[name]; !ok {
+			order = append(order, name)
+		}
+		variants[name] = append(variants[name], sc)
+	}
+	sort.Strings(order)
+
+	// Sub-benchmark closures run again for every b.N ramp-up, so records
+	// are keyed by name (last, largest-N invocation wins), never appended.
+	records := make(map[string]corpusVariantRecord, len(order))
+	var cacheRec *corpusCacheRecord
+	for _, name := range order {
+		group := variants[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, sc := range group {
+					if _, err := Solve(&sc.Inst, sc.Req); err != nil && !errors.Is(err, ErrInfeasible) {
+						b.Fatalf("%s: %v", sc.Name, err)
+					}
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			records[name] = corpusVariantRecord{
+				Name:        name,
+				Scenarios:   len(group),
+				N:           b.N,
+				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(b.N),
+			}
+		})
+	}
+
+	b.Run("cache/batch-2pass", func(b *testing.B) {
+		jobs := make([]Job, 0, len(scenarios))
+		for i := range scenarios {
+			jobs = append(jobs, Job{Inst: &scenarios[i].Inst, Req: scenarios[i].Req})
+		}
+		var st SolveCacheStats
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh cache and two passes per op: the first pass misses
+			// on every distinct job, the second must hit on all of them,
+			// so the recorded hit rate is 0.5 whenever dedup works —
+			// independent of b.N and -benchtime.
+			cache := NewSolveCache()
+			SolveBatch(jobs, BatchOptions{Cache: cache})
+			SolveBatch(jobs, BatchOptions{Cache: cache})
+			st = cache.Stats()
+		}
+		b.StopTimer()
+		cacheRec = &corpusCacheRecord{
+			Jobs:      len(jobs),
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			HitRate:   st.HitRate(),
+			Entries:   st.Entries,
+			Evictions: st.Evictions,
+			NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			N:         b.N,
+		}
+	})
+
+	// Only a complete run may rewrite the committed baseline: a filtered
+	// invocation (e.g. -bench=Corpus/cache) must not clobber it with a
+	// partial document.
+	if len(records) != len(order) || cacheRec == nil {
+		b.Logf("partial corpus run (%d/%d variants, cache %v): BENCH_solver.json left untouched",
+			len(records), len(order), cacheRec != nil)
+		return
+	}
+	doc := corpusDoc{
+		Regenerate: "go test -bench=Corpus -benchtime=1x -run='^$' .",
+		Seed:       corpusSeed,
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Cache:      *cacheRec,
+	}
+	for _, name := range order {
+		doc.Variants = append(doc.Variants, records[name])
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_solver.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_solver.json: %d variants, cache hit rate %.3f", len(doc.Variants), doc.Cache.HitRate)
 }

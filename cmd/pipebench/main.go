@@ -8,8 +8,10 @@
 //
 //	pipebench -exp all            # everything (default)
 //	pipebench -exp fig1           # one experiment:
-//	                              #   fig1 table1 table2 sim pareto npc scaling
+//	                              #   fig1 table1 table2 sim pareto npc scaling diff
 //	pipebench -seed 7             # reseed the randomized validations
+//	pipebench -exp diff -instances 1080
+//	                              # differential verification corpus size
 //
 // pipebench exits non-zero if any paper claim failed to reproduce.
 package main
@@ -32,9 +34,10 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all | fig1 | table1 | table2 | sim | pareto | npc | extensions | scaling")
+	exp := fs.String("exp", "all", "experiment: all | fig1 | table1 | table2 | sim | pareto | npc | extensions | scaling | diff")
 	seed := fs.Int64("seed", 1, "seed for the randomized validations")
 	trials := fs.Int("trials", 60, "trials for the simulator validation")
+	instances := fs.Int("instances", 0, "scenarios for the differential check (0 = six combination windows)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +60,8 @@ func run(args []string, stdout io.Writer) error {
 		return experiments.Extensions(stdout, *seed)
 	case "scaling":
 		return experiments.Scaling(stdout, *seed)
+	case "diff":
+		return experiments.Diff(stdout, *seed, *instances)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

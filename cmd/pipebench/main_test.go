@@ -33,6 +33,16 @@ func TestPipebenchSim(t *testing.T) {
 	}
 }
 
+func TestPipebenchDiff(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "diff", "-instances", "36", "-seed", "2"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "variant combinations covered") {
+		t.Errorf("diff output missing coverage row:\n%s", out.String())
+	}
+}
+
 func TestPipebenchUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "bogus"}, new(bytes.Buffer)); err == nil {
 		t.Error("unknown experiment accepted")

@@ -21,6 +21,8 @@
 //	-timeout    per-request wall-clock budget (0 = none, default 30s);
 //	            an expired budget cancels the request's remaining solver
 //	            jobs and reports 504
+//	-max-body   request body cap in bytes (default 8 MiB); an oversized
+//	            body is rejected with a structured 413 JSON error
 //
 // A quick session against the Section 2 instance:
 //
@@ -63,6 +65,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "solver worker pool per request (0 = GOMAXPROCS)")
 	cacheCap := fs.Int("cache-cap", 65536, "memo cache entry cap (0 = unbounded)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request budget (0 = none)")
+	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB default, negative = unlimited)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +76,7 @@ func run(args []string) error {
 		Workers:  *workers,
 		CacheCap: *cacheCap,
 		Timeout:  *timeout,
+		MaxBody:  *maxBody,
 		Logger:   logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -1,0 +1,71 @@
+package repro
+
+// Smoke tests for the examples/ programs: every example must build and run
+// to completion with a zero exit status and produce output. The examples
+// are documentation that executes — this keeps them from rotting as the
+// API evolves (they are main packages, so nothing else compiles them
+// against their actual behaviour).
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildExamples compiles every example binary once into a temp dir and
+// returns their paths keyed by example name.
+func buildExamples(t *testing.T) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	bins := make(map[string]string)
+	args := []string{"build", "-o", dir + string(os.PathSeparator)}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		args = append(args, "./examples/"+e.Name())
+		bins[e.Name()] = filepath.Join(dir, e.Name())
+	}
+	if len(bins) == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", args...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building examples: %v\n%s", err, out)
+	}
+	return bins
+}
+
+// TestExamplesSmoke builds and runs all examples/ programs, asserting exit
+// status zero and non-empty output for each.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example binaries skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	for name, bin := range buildExamples(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example exited non-zero: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,387 @@
+// Package diffcheck is the differential verification harness: it validates
+// the complexity-aware solver dispatcher (internal/core) against two
+// independent oracles on randomly generated instances (internal/gen).
+//
+// For every scenario it checks three properties, mirroring how the KR-Benes
+// line of work validates constructions by exhaustive comparison against the
+// classical baseline:
+//
+//  1. Exactness. Whatever path the dispatcher took — a polynomial theorem
+//     algorithm or the exhaustive fallback — a result flagged Optimal must
+//     equal the brute-force optimum bit-for-bit (within the float tolerance
+//     of internal/fmath), and the solver and brute force must agree on
+//     feasibility.
+//  2. Consistency. The returned mapping must validate under the request's
+//     rule, its reported metrics must equal a fresh analytic evaluation,
+//     the achieved objective must equal the reported value, every requested
+//     bound must hold, and the discrete-event simulator must measure
+//     exactly the analytic period and latency (sim.Verify).
+//  3. Heuristic soundness. A heuristic result can never beat the exact
+//     optimum: forcing the heuristic path on the same instance must produce
+//     a value bounded below by the brute-force optimum, and its mapping
+//     must pass the same consistency replay.
+//
+// Check runs one scenario; Run fans a whole corpus out over a worker pool
+// and aggregates a Summary. Both are deterministic per (seed, n).
+package diffcheck
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/algo/exact"
+	"repro/internal/core"
+	"repro/internal/fmath"
+	"repro/internal/gen"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// Options tunes the oracle.
+type Options struct {
+	// OracleLimit caps the brute-force enumeration per scenario; above it
+	// the value cross-check is skipped (the consistency replay still
+	// runs). 0 means 800,000 mappings.
+	OracleLimit int64
+	// Tol is the simulator verification tolerance; 0 means 1e-9.
+	Tol float64
+	// HeurEvery forces the heuristic path and checks its lower bound on
+	// every k-th scenario; 0 means every 4th, negative disables.
+	HeurEvery int
+	// HeurIters and HeurRestarts tune the forced heuristic run (defaults
+	// 300 and 1: enough to find a feasible point on oracle-sized
+	// instances while keeping a large corpus fast).
+	HeurIters, HeurRestarts int
+	// Workers bounds Run's parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) oracleLimit() int64 {
+	if o.OracleLimit <= 0 {
+		return 800_000
+	}
+	return o.OracleLimit
+}
+
+func (o Options) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-9
+	}
+	return o.Tol
+}
+
+func (o Options) heurEvery() int {
+	if o.HeurEvery == 0 {
+		return 4
+	}
+	return o.HeurEvery
+}
+
+func (o Options) heurIters() int {
+	if o.HeurIters <= 0 {
+		return 300
+	}
+	return o.HeurIters
+}
+
+func (o Options) heurRestarts() int {
+	if o.HeurRestarts <= 0 {
+		return 1
+	}
+	return o.HeurRestarts
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Outcome reports one scenario's differential check.
+type Outcome struct {
+	Scenario gen.Scenario
+	// Feasible reports whether the problem has any feasible mapping.
+	Feasible bool
+	// Method, Optimal and Value mirror the solver result (feasible only).
+	Method  core.Method
+	Optimal bool
+	Value   float64
+	// OracleValue is the brute-force optimum (NaN when skipped or
+	// infeasible); OracleSkipped reports a search space over the limit.
+	OracleValue   float64
+	OracleSkipped bool
+	// HeurChecked reports that the forced-heuristic lower-bound check ran;
+	// HeurValue is its achieved value (NaN when it found nothing) and
+	// HeurMissed that it failed to find any feasible mapping even though
+	// one exists (allowed: the heuristic is incomplete).
+	HeurChecked bool
+	HeurValue   float64
+	HeurMissed  bool
+}
+
+// Check runs the full differential oracle on one scenario. A non-nil error
+// is a genuine disagreement (or an unexpected solver failure), never an
+// artifact of an infeasible or oversized draw.
+func Check(sc *gen.Scenario, opt Options) (Outcome, error) {
+	out := Outcome{Scenario: *sc, OracleValue: math.NaN(), HeurValue: math.NaN()}
+
+	res, serr := core.Solve(&sc.Inst, sc.Req)
+	if serr != nil && !errors.Is(serr, core.ErrInfeasible) {
+		return out, fmt.Errorf("%s (seed %d, index %d): solver failed: %w", sc.Name, sc.Seed, sc.Index, serr)
+	}
+
+	oracle, oerr := bruteForce(&sc.Inst, sc.Req, opt.oracleLimit())
+	switch {
+	case errors.Is(oerr, exact.ErrSearchSpace):
+		out.OracleSkipped = true
+	case errors.Is(oerr, exact.ErrInfeasible):
+		if serr == nil {
+			return out, fmt.Errorf("%s (seed %d, index %d): solver returned %q with value %g on an instance brute force proves infeasible",
+				sc.Name, sc.Seed, sc.Index, res.Method, res.Value)
+		}
+		return out, nil // both sides agree: infeasible
+	case oerr != nil:
+		return out, fmt.Errorf("%s (seed %d, index %d): oracle failed: %w", sc.Name, sc.Seed, sc.Index, oerr)
+	}
+
+	if serr != nil {
+		if out.OracleSkipped {
+			return out, nil // cannot adjudicate; solver said infeasible
+		}
+		return out, fmt.Errorf("%s (seed %d, index %d): solver claims infeasible but brute force found optimum %g",
+			sc.Name, sc.Seed, sc.Index, oracle)
+	}
+
+	out.Feasible = true
+	out.Method, out.Optimal, out.Value = res.Method, res.Optimal, res.Value
+	if !out.OracleSkipped {
+		out.OracleValue = oracle
+		if res.Optimal && !fmath.EQ(res.Value, oracle) {
+			return out, fmt.Errorf("%s (seed %d, index %d): %q value %g differs from brute-force optimum %g",
+				sc.Name, sc.Seed, sc.Index, res.Method, res.Value, oracle)
+		}
+		if !res.Optimal && !fmath.GE(res.Value, oracle) {
+			return out, fmt.Errorf("%s (seed %d, index %d): heuristic value %g beats the proven optimum %g",
+				sc.Name, sc.Seed, sc.Index, res.Value, oracle)
+		}
+	}
+	if err := replay(sc, &res, opt); err != nil {
+		return out, fmt.Errorf("%s (seed %d, index %d): %w", sc.Name, sc.Seed, sc.Index, err)
+	}
+
+	// Heuristic soundness: force the heuristic path on the same problem
+	// and bound it below by the exact optimum.
+	if k := opt.heurEvery(); k > 0 && sc.Index%k == 0 && !out.OracleSkipped {
+		out.HeurChecked = true
+		hreq := sc.Req
+		hreq.ExactLimit = 1 // any real search space exceeds 1: forces the heuristic
+		hreq.HeurIters, hreq.HeurRestarts = opt.heurIters(), opt.heurRestarts()
+		hres, herr := core.Solve(&sc.Inst, hreq)
+		switch {
+		case errors.Is(herr, core.ErrInfeasible):
+			out.HeurMissed = true // incomplete search is allowed to miss
+		case herr != nil:
+			return out, fmt.Errorf("%s (seed %d, index %d): forced heuristic failed: %w", sc.Name, sc.Seed, sc.Index, herr)
+		default:
+			out.HeurValue = hres.Value
+			if !fmath.GE(hres.Value, oracle) {
+				return out, fmt.Errorf("%s (seed %d, index %d): forced heuristic value %g beats the proven optimum %g",
+					sc.Name, sc.Seed, sc.Index, hres.Value, oracle)
+			}
+			if err := replay(sc, &hres, opt); err != nil {
+				return out, fmt.Errorf("%s (seed %d, index %d): forced heuristic %w", sc.Name, sc.Seed, sc.Index, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// replay is the consistency oracle: the returned mapping must be legal, its
+// reported metrics must match a fresh analytic evaluation bit-for-bit, the
+// reported value must be the requested objective of those metrics, every
+// bound in the request must hold, and the discrete-event simulator must
+// measure exactly the analytic period and latency.
+func replay(sc *gen.Scenario, res *core.Result, opt Options) error {
+	inst, req := &sc.Inst, sc.Req
+	if err := res.Mapping.Validate(inst, req.Rule); err != nil {
+		return fmt.Errorf("returned mapping invalid: %w", err)
+	}
+	mt := mapping.Evaluate(inst, &res.Mapping, req.Model)
+	if mt.Period != res.Metrics.Period || mt.Latency != res.Metrics.Latency || mt.Energy != res.Metrics.Energy {
+		return fmt.Errorf("reported metrics (T %g, L %g, E %g) differ from re-evaluation (T %g, L %g, E %g)",
+			res.Metrics.Period, res.Metrics.Latency, res.Metrics.Energy, mt.Period, mt.Latency, mt.Energy)
+	}
+	want := mt.Period
+	switch req.Objective {
+	case core.Latency:
+		want = mt.Latency
+	case core.Energy:
+		want = mt.Energy
+	}
+	if !fmath.EQ(res.Value, want) {
+		return fmt.Errorf("reported value %g is not the mapping's %v %g", res.Value, req.Objective, want)
+	}
+	for a := range inst.Apps {
+		if req.PeriodBounds != nil && !fmath.LE(mt.AppPeriods[a], req.PeriodBounds[a]) {
+			return fmt.Errorf("app %d period %g violates bound %g", a, mt.AppPeriods[a], req.PeriodBounds[a])
+		}
+		if req.LatencyBounds != nil && !fmath.LE(mt.AppLatencies[a], req.LatencyBounds[a]) {
+			return fmt.Errorf("app %d latency %g violates bound %g", a, mt.AppLatencies[a], req.LatencyBounds[a])
+		}
+	}
+	if req.EnergyBudget > 0 && !fmath.LE(mt.Energy, req.EnergyBudget) {
+		return fmt.Errorf("energy %g violates budget %g", mt.Energy, req.EnergyBudget)
+	}
+	if err := sim.Verify(inst, &res.Mapping, req.Model, opt.tol()); err != nil {
+		return fmt.Errorf("simulator disagrees with the analytic model: %w", err)
+	}
+	return nil
+}
+
+// bruteForce enumerates every valid mapping under the request's rule and
+// returns the optimum of the requested objective among those satisfying the
+// request's bounds. It is the ground truth: a single exhaustive pass with
+// no algorithmic insight beyond the mode-restriction soundness argument
+// (FastestOnly is lossless without an energy criterion, Section 2). It
+// returns exact.ErrInfeasible when no mapping satisfies the bounds and
+// exact.ErrSearchSpace past the limit.
+func bruteForce(inst *pipeline.Instance, req core.Request, limit int64) (float64, error) {
+	modes := exact.FastestOnly
+	if req.Objective == core.Energy || req.EnergyBudget > 0 {
+		modes = exact.AllModes
+	}
+	best := math.Inf(1)
+	found := false
+	err := exact.Enumerate(inst, exact.Options{Rule: req.Rule, Modes: modes, Limit: limit}, func(m *mapping.Mapping) {
+		for a := range m.Apps {
+			if req.PeriodBounds != nil && !fmath.LE(mapping.AppPeriod(inst, m, a, req.Model), req.PeriodBounds[a]) {
+				return
+			}
+			if req.LatencyBounds != nil && !fmath.LE(mapping.AppLatency(inst, m, a), req.LatencyBounds[a]) {
+				return
+			}
+		}
+		if req.EnergyBudget > 0 && !fmath.LE(mapping.Energy(inst, m), req.EnergyBudget) {
+			return
+		}
+		var v float64
+		switch req.Objective {
+		case core.Period:
+			v = mapping.Period(inst, m, req.Model)
+		case core.Latency:
+			v = mapping.Latency(inst, m)
+		default:
+			v = mapping.Energy(inst, m)
+		}
+		if !found || v < best {
+			best, found = v, true
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, exact.ErrInfeasible
+	}
+	return best, nil
+}
+
+// Summary aggregates a corpus run.
+type Summary struct {
+	// Checked is the number of scenarios examined. Feasible counts those
+	// whose returned mapping passed the consistency replay; Infeasible
+	// counts those where solver AND brute force agree no mapping exists
+	// (a solver infeasibility verdict whose oracle was skipped counts in
+	// neither — only in OracleSkips).
+	Checked, Feasible, Infeasible int
+	// OracleSkips counts scenarios whose brute-force space exceeded the
+	// limit (their consistency replay still ran).
+	OracleSkips int
+	// Combos counts scenarios per (class, rule, model, criterion) label.
+	Combos map[string]int
+	// Methods counts solver dispatch methods across feasible scenarios.
+	Methods map[core.Method]int
+	// HeurChecked and HeurMisses report the forced-heuristic runs and how
+	// many found no feasible mapping despite one existing.
+	HeurChecked, HeurMisses int
+}
+
+// ComboNames returns the observed combination labels, sorted.
+func (s *Summary) ComboNames() []string {
+	names := make([]string, 0, len(s.Combos))
+	for k := range s.Combos {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// maxReported caps how many disagreements Run reports, so a systematic bug
+// does not drown the report.
+const maxReported = 8
+
+// Run samples n scenarios from the space and differentially checks each on
+// a bounded worker pool. It returns the aggregate summary plus a joined
+// error of the reported disagreements. Deterministic per (seed, n).
+func Run(space gen.Space, seed int64, n int, opt Options) (Summary, error) {
+	if err := space.Validate(); err != nil {
+		return Summary{}, err
+	}
+	outcomes := make([]Outcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.workers())
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sc := space.Sample(seed, i)
+			outcomes[i], errs[i] = Check(&sc, opt)
+		}(i)
+	}
+	wg.Wait()
+
+	sum := Summary{Combos: make(map[string]int), Methods: make(map[core.Method]int)}
+	var reported []error
+	for i := range outcomes {
+		out := &outcomes[i]
+		sum.Checked++
+		sum.Combos[out.Scenario.Combo()]++
+		if errs[i] != nil {
+			if len(reported) < maxReported {
+				reported = append(reported, errs[i])
+			}
+			continue
+		}
+		if out.OracleSkipped {
+			sum.OracleSkips++
+		}
+		switch {
+		case out.Feasible:
+			// Even with a skipped oracle, the consistency replay
+			// adjudicated the returned mapping.
+			sum.Feasible++
+			sum.Methods[out.Method]++
+		case !out.OracleSkipped:
+			sum.Infeasible++
+			// A solver infeasibility verdict with a skipped oracle is
+			// unadjudicated: it counts only in OracleSkips, never as an
+			// agreement.
+		}
+		if out.HeurChecked {
+			sum.HeurChecked++
+			if out.HeurMissed {
+				sum.HeurMisses++
+			}
+		}
+	}
+	return sum, errors.Join(reported...)
+}

@@ -260,5 +260,6 @@ func All(w io.Writer, seed int64) error {
 	keep(NPC(w))
 	keep(Extensions(w, seed))
 	keep(Scaling(w, seed))
+	keep(Diff(w, seed, 0))
 	return firstErr
 }

@@ -63,6 +63,24 @@ func TestNPCExperiment(t *testing.T) {
 	}
 }
 
+// TestDiffExperiment runs a two-window differential corpus and checks the
+// rendered report names the coverage and method tables.
+func TestDiffExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Diff(&buf, 7, 72); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"DIFF", "variant combinations covered", "dispatch methods", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("mismatch flagged:\n%s", out)
+	}
+}
+
 func TestScalingExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling sweep skipped in -short mode")

@@ -1,0 +1,456 @@
+// Package gen deterministically samples the paper's full scenario space:
+// every platform class of Section 3.1 (fully homogeneous, communication
+// homogeneous, fully heterogeneous), both communication models of
+// Section 3.2 (overlap, no-overlap), both mapping rules of Section 3.3
+// (one-to-one, interval) and all three criteria of Section 3.5 (period,
+// latency, energy-under-period), across randomized application counts,
+// chain lengths, DVFS mode ladders, weights, constraint tightness and a
+// rotating set of degenerate shapes (communication-free chains, single
+// stage chains, uni-modal platforms, the special-app case, and platforms
+// with too few processors).
+//
+// Every draw is a pure function of (seed, index): Sample(seed, i) always
+// returns the same Scenario, and distinct indices use independent rng
+// streams, so a corpus can be generated, sharded and re-generated in any
+// order. The (class, model, rule, criterion) combination is taken from the
+// index round-robin over the cross product, which guarantees that any
+// window of CombinationCount() consecutive indices covers every
+// combination exactly once — the differential harness (internal/diffcheck)
+// and the corpus benchmarks (BenchmarkCorpus) rely on this to claim full
+// variant coverage.
+//
+// Instances are deliberately small: every scenario must fit the exhaustive
+// oracle of internal/algo/exact, which is what makes differential
+// verification against brute force possible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Scenario is one fully specified problem draw: an instance plus the
+// request to solve on it, with enough provenance to reproduce the draw.
+type Scenario struct {
+	// Index and Seed reproduce the draw: Sample(Seed, Index) == this.
+	Index int
+	Seed  int64
+	// Name is a compact label: "class/rule/model/criterion[#degenerate]".
+	Name string
+	// Class is the platform class the instance was generated as. Note the
+	// instance may classify as a stricter class by coincidence (a random
+	// heterogeneous draw can come out homogeneous); solvers must only rely
+	// on Platform.Classify, never on this field.
+	Class pipeline.Class
+	// Degenerate names the degenerate shape applied, or "".
+	Degenerate string
+	// Inst is the generated problem instance.
+	Inst pipeline.Instance
+	// Req is the solver request, including any generated bounds. Energy
+	// scenarios always carry period bounds (Section 3.5 rules out
+	// unconstrained energy minimization).
+	Req core.Request
+}
+
+// Space bounds the sampling distribution. The zero value is not useful;
+// start from DefaultSpace.
+type Space struct {
+	// Classes, Models, Rules and Criteria are cycled through round-robin
+	// by index; each must be non-empty.
+	Classes  []pipeline.Class
+	Models   []pipeline.CommModel
+	Rules    []mapping.Rule
+	Criteria []core.Criterion
+
+	// MinApps..MaxApps bounds the number of concurrent applications.
+	MinApps, MaxApps int
+	// MaxStagesPerApp bounds each chain's length; MaxTotalStages bounds
+	// the instance-wide stage count so the exhaustive oracle stays cheap.
+	MaxStagesPerApp, MaxTotalStages int
+	// MaxProcs bounds the platform size.
+	MaxProcs int
+	// MaxModes bounds the DVFS ladder length.
+	MaxModes int
+	// MaxWork, MaxData, MaxSpeed, MaxBandwidth bound the integer draws of
+	// internal/workload.
+	MaxWork, MaxData, MaxSpeed, MaxBandwidth int
+
+	// DegenerateEvery applies a degenerate shape to every k-th index
+	// (0 disables degenerate shapes).
+	DegenerateEvery int
+}
+
+// DefaultSpace returns the corpus space used by the differential harness:
+// every class/model/rule/criterion combination over oracle-sized
+// instances, with a degenerate shape every 5th draw.
+func DefaultSpace() Space {
+	return Space{
+		Classes:  []pipeline.Class{pipeline.FullyHomogeneous, pipeline.CommHomogeneous, pipeline.FullyHeterogeneous},
+		Models:   []pipeline.CommModel{pipeline.Overlap, pipeline.NoOverlap},
+		Rules:    []mapping.Rule{mapping.OneToOne, mapping.Interval},
+		Criteria: []core.Criterion{core.Period, core.Latency, core.Energy},
+
+		MinApps: 1, MaxApps: 3,
+		MaxStagesPerApp: 4, MaxTotalStages: 6,
+		MaxProcs: 6, MaxModes: 3,
+		MaxWork: 9, MaxData: 5, MaxSpeed: 8, MaxBandwidth: 4,
+
+		DegenerateEvery: 5,
+	}
+}
+
+// CombinationCount returns the size of the (class, model, rule, criterion)
+// cross product; any CombinationCount() consecutive indices cover each
+// combination exactly once.
+func (s Space) CombinationCount() int {
+	return len(s.Classes) * len(s.Models) * len(s.Rules) * len(s.Criteria)
+}
+
+// Validate checks the space is sampleable.
+func (s Space) Validate() error {
+	if len(s.Classes) == 0 || len(s.Models) == 0 || len(s.Rules) == 0 || len(s.Criteria) == 0 {
+		return fmt.Errorf("gen: empty combination axis (%d classes, %d models, %d rules, %d criteria)",
+			len(s.Classes), len(s.Models), len(s.Rules), len(s.Criteria))
+	}
+	if s.MinApps < 1 || s.MaxApps < s.MinApps {
+		return fmt.Errorf("gen: invalid app bounds [%d,%d]", s.MinApps, s.MaxApps)
+	}
+	if s.MaxStagesPerApp < 1 || s.MaxTotalStages < s.MaxStagesPerApp {
+		return fmt.Errorf("gen: invalid stage bounds (per-app %d, total %d)", s.MaxStagesPerApp, s.MaxTotalStages)
+	}
+	if s.MaxProcs < s.MaxApps || s.MaxModes < 1 {
+		return fmt.Errorf("gen: MaxProcs %d must cover MaxApps %d and MaxModes %d must be positive",
+			s.MaxProcs, s.MaxApps, s.MaxModes)
+	}
+	if s.MaxWork < 1 || s.MaxSpeed < 1 || s.MaxData < 0 || s.MaxBandwidth < 1 {
+		return fmt.Errorf("gen: invalid magnitude bounds (work %d, speed %d, data %d, bandwidth %d)",
+			s.MaxWork, s.MaxSpeed, s.MaxData, s.MaxBandwidth)
+	}
+	return nil
+}
+
+// Degenerate shape names, applied round-robin on degenerate indices.
+const (
+	// DegenZeroData zeroes every data size: the communication-free case
+	// where the overlap and no-overlap models must agree.
+	DegenZeroData = "zero-data"
+	// DegenSingleStage truncates every chain to one stage.
+	DegenSingleStage = "single-stage"
+	// DegenUniModal strips every DVFS ladder to a single mode.
+	DegenUniModal = "uni-modal"
+	// DegenSpecialApp is the paper's special-app case: communication-free
+	// chains whose stages all have identical work.
+	DegenSpecialApp = "special-app"
+	// DegenProcStarved removes processors until the rule's shape
+	// precondition fails (fewer processors than stages for one-to-one,
+	// fewer than applications for interval), so the whole scenario is
+	// infeasible by construction.
+	DegenProcStarved = "proc-starved"
+)
+
+var degenerates = []string{DegenZeroData, DegenSingleStage, DegenUniModal, DegenSpecialApp, DegenProcStarved}
+
+// Sample draws scenario i of the seeded corpus. It is deterministic in
+// (seed, i) and independent across i. It panics only on an invalid Space
+// (validate first when the space is user-supplied).
+func (s Space) Sample(seed int64, i int) Scenario {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	// Independent stream per index: mix the index into the seed with a
+	// splitmix-style odd constant so neighbouring indices decorrelate.
+	rng := rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x2545F4914F6CDD1D))
+
+	combo := i % s.CombinationCount()
+	class := s.Classes[combo%len(s.Classes)]
+	combo /= len(s.Classes)
+	model := s.Models[combo%len(s.Models)]
+	combo /= len(s.Models)
+	rule := s.Rules[combo%len(s.Rules)]
+	combo /= len(s.Rules)
+	criterion := s.Criteria[combo%len(s.Criteria)]
+
+	degen := ""
+	if s.DegenerateEvery > 0 && i%s.DegenerateEvery == s.DegenerateEvery-1 {
+		degen = degenerates[(i/s.DegenerateEvery)%len(degenerates)]
+	}
+
+	sc := Scenario{Index: i, Seed: seed, Class: class, Degenerate: degen}
+	sc.Name = fmt.Sprintf("%s/%s/%s/%s", className(class), rule, model, criterion)
+	if degen != "" {
+		sc.Name += comboSeparator + degen
+	}
+
+	cfg := s.config(rng, class, rule, degen)
+	sc.Inst = workload.MustInstance(rng, cfg)
+	s.applyDegenerate(rng, &sc.Inst, degen)
+	s.applyWeights(rng, &sc.Inst)
+	if degen == DegenProcStarved {
+		starveProcessors(&sc.Inst, rule)
+	}
+
+	sc.Req = s.request(rng, &sc.Inst, rule, model, criterion)
+	return sc
+}
+
+// comboSeparator splits the combination label from the degenerate suffix
+// in Scenario.Name.
+const comboSeparator = "#"
+
+// Combo returns the (class, rule, model, criterion) combination label:
+// the scenario Name without its degenerate suffix. Scenarios with the
+// same Combo exercise the same solver variant.
+func (sc *Scenario) Combo() string {
+	if i := strings.Index(sc.Name, comboSeparator); i >= 0 {
+		return sc.Name[:i]
+	}
+	return sc.Name
+}
+
+// Corpus draws the first n scenarios of the seeded corpus.
+func (s Space) Corpus(seed int64, n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = s.Sample(seed, i)
+	}
+	return out
+}
+
+// config draws the size parameters for one instance.
+func (s Space) config(rng *rand.Rand, class pipeline.Class, rule mapping.Rule, degen string) workload.Config {
+	apps := s.MinApps + rng.Intn(s.MaxApps-s.MinApps+1)
+	// Split the total stage budget so multi-application draws stay small
+	// enough for the exhaustive oracle.
+	perApp := s.MaxStagesPerApp
+	if cap := s.MaxTotalStages / apps; perApp > cap {
+		perApp = cap
+	}
+	if perApp < 1 {
+		perApp = 1
+	}
+	maxStages := 1 + rng.Intn(perApp)
+
+	// One-to-one mappings need one processor per stage; draw enough
+	// processors for the worst chain lengths so most scenarios are
+	// feasible (proc-starved draws deliberately undo this).
+	minProcs := apps
+	if rule == mapping.OneToOne {
+		minProcs = apps * maxStages
+	}
+	if minProcs > s.MaxProcs {
+		minProcs = s.MaxProcs
+	}
+	procs := minProcs
+	if procs < s.MaxProcs {
+		procs += rng.Intn(s.MaxProcs - procs + 1)
+	}
+
+	modes := 1 + rng.Intn(s.MaxModes)
+	maxData := s.MaxData
+	if degen == DegenZeroData || degen == DegenSpecialApp {
+		maxData = 0
+	}
+	if degen == DegenUniModal {
+		modes = 1
+	}
+	cfg := workload.Config{
+		Apps: apps, MinStages: 1, MaxStages: maxStages,
+		Procs: procs, Modes: modes, Class: class,
+		MaxWork: s.MaxWork, MaxData: maxData,
+		MaxSpeed: s.MaxSpeed, MaxBandwidth: s.MaxBandwidth,
+	}
+	if degen == DegenSingleStage {
+		cfg.MinStages, cfg.MaxStages = 1, 1
+	}
+	// Occasionally exercise a non-default energy model.
+	if rng.Intn(4) == 0 {
+		cfg.Energy = pipeline.EnergyModel{Static: float64(rng.Intn(3)), Alpha: 2 + rng.Float64()}
+	}
+	// Homogeneous link classes occasionally get a non-unit bandwidth.
+	if class != pipeline.FullyHeterogeneous && rng.Intn(3) == 0 {
+		cfg.Bandwidth = float64(1 + rng.Intn(s.MaxBandwidth))
+	}
+	return cfg
+}
+
+// applyDegenerate post-processes the instance for shapes the workload
+// Config cannot express.
+func (s Space) applyDegenerate(rng *rand.Rand, inst *pipeline.Instance, degen string) {
+	if degen != DegenSpecialApp {
+		return
+	}
+	// Special-app case: all stages of all applications share one work
+	// requirement and there is no communication at all (MaxData is already
+	// zero via config).
+	w := float64(1 + rng.Intn(s.MaxWork))
+	for a := range inst.Apps {
+		inst.Apps[a].In = 0
+		for j := range inst.Apps[a].Stages {
+			inst.Apps[a].Stages[j].Work = w
+			inst.Apps[a].Stages[j].Out = 0
+		}
+	}
+}
+
+// applyWeights randomizes application weights: mostly 1, sometimes a
+// half-speed or double-weight application so the weighted max objectives
+// are exercised.
+func (s Space) applyWeights(rng *rand.Rand, inst *pipeline.Instance) {
+	weights := []float64{1, 1, 1, 0.5, 2}
+	for a := range inst.Apps {
+		inst.Apps[a].Weight = weights[rng.Intn(len(weights))]
+	}
+}
+
+// starveProcessors truncates the platform below the rule's shape
+// precondition, making every mapping invalid: one-to-one needs one
+// processor per stage, interval one per application.
+func starveProcessors(inst *pipeline.Instance, rule mapping.Rule) {
+	need := len(inst.Apps)
+	if rule == mapping.OneToOne {
+		need = inst.TotalStages()
+	}
+	if need < 2 {
+		// Shrinking below one processor would not be a valid platform. For
+		// one-to-one, starve by growing the demand instead: extend the
+		// first chain past the platform size. For interval (a single
+		// application always fits on a single processor) the shape cannot
+		// be starved, so the draw degrades to a regular scenario.
+		if rule == mapping.OneToOne {
+			app := &inst.Apps[0]
+			for inst.TotalStages() <= inst.Platform.NumProcessors() {
+				app.Stages = append(app.Stages, pipeline.Stage{Work: app.Stages[0].Work, Out: 0})
+			}
+		}
+		return
+	}
+	keep := need - 1
+	p := inst.Platform
+	inst.Platform = pipeline.Platform{
+		Processors:   append([]pipeline.Processor(nil), p.Processors[:keep]...),
+		Bandwidth:    truncateMatrix(p.Bandwidth, keep, keep),
+		InBandwidth:  truncateMatrix(p.InBandwidth, len(p.InBandwidth), keep),
+		OutBandwidth: truncateMatrix(p.OutBandwidth, len(p.OutBandwidth), keep),
+	}
+}
+
+func truncateMatrix(m [][]float64, rows, cols int) [][]float64 {
+	out := make([][]float64, 0, rows)
+	for r := 0; r < rows && r < len(m); r++ {
+		out = append(out, append([]float64(nil), m[r][:cols]...))
+	}
+	return out
+}
+
+// request draws the solver request: the fixed (rule, model, criterion)
+// from the index plus randomized constraint tightness. Bounds are
+// calibrated against crudeBound so roughly two thirds of the bounded draws
+// are feasible and the rest exercise the infeasibility paths.
+func (s Space) request(rng *rand.Rand, inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, criterion core.Criterion) core.Request {
+	req := core.Request{Rule: rule, Model: model, Objective: criterion, Seed: rng.Int63()}
+	slack := func() float64 { return 0.3 + 2.2*rng.Float64() }
+	switch criterion {
+	case core.Period:
+		// Mono-criterion two thirds of the time; otherwise add a latency
+		// bound, and with it sometimes an energy budget.
+		if rng.Intn(3) == 0 {
+			req.LatencyBounds = s.bounds(rng, inst, slack())
+			if rng.Intn(2) == 0 {
+				req.EnergyBudget = s.energyBudget(rng, inst)
+			}
+		}
+	case core.Latency:
+		if rng.Intn(3) == 0 {
+			req.PeriodBounds = s.bounds(rng, inst, slack())
+			if rng.Intn(2) == 0 {
+				req.EnergyBudget = s.energyBudget(rng, inst)
+			}
+		}
+	case core.Energy:
+		// Energy minimization requires period bounds (Section 3.5).
+		req.PeriodBounds = s.bounds(rng, inst, slack())
+		if rng.Intn(3) == 0 {
+			req.LatencyBounds = s.bounds(rng, inst, slack())
+		}
+	}
+	return req
+}
+
+// bounds builds per-application unweighted bounds at `slack` times the
+// crude whole-application upper bound: slack > 1 is always feasible on a
+// non-starved platform, slack well below 1 is usually infeasible.
+func (s Space) bounds(rng *rand.Rand, inst *pipeline.Instance, slack float64) []float64 {
+	out := make([]float64, len(inst.Apps))
+	for a := range out {
+		out[a] = slack * crudeBound(inst, a)
+	}
+	return out
+}
+
+// crudeBound upper-bounds both the period and the latency that application
+// a achieves when mapped as a single interval onto the slowest processor at
+// its slowest mode over the slowest links: input + every transfer at the
+// minimum bandwidth plus all work at the minimum speed. Any whole-app
+// mapping is at least this good under either communication model.
+func crudeBound(inst *pipeline.Instance, a int) float64 {
+	app := &inst.Apps[a]
+	minSpeed, minBW := math.Inf(1), math.Inf(1)
+	for p := range inst.Platform.Processors {
+		for _, sp := range inst.Platform.Processors[p].Speeds {
+			minSpeed = math.Min(minSpeed, sp)
+		}
+	}
+	scan := func(m [][]float64) {
+		for _, row := range m {
+			for _, b := range row {
+				if b > 0 {
+					minBW = math.Min(minBW, b)
+				}
+			}
+		}
+	}
+	scan(inst.Platform.Bandwidth)
+	scan(inst.Platform.InBandwidth)
+	scan(inst.Platform.OutBandwidth)
+	if math.IsInf(minBW, 1) {
+		minBW = 1
+	}
+	var work, data float64
+	data += app.In
+	for _, st := range app.Stages {
+		work += st.Work
+		data += st.Out
+	}
+	return data/minBW + work/minSpeed
+}
+
+// energyBudget draws a global energy budget between one processor's idle
+// power and the whole platform running flat out; the low end is often
+// infeasible, the high end always feasible.
+func (s Space) energyBudget(rng *rand.Rand, inst *pipeline.Instance) float64 {
+	var max float64
+	for p := range inst.Platform.Processors {
+		speeds := inst.Platform.Processors[p].Speeds
+		max += inst.Energy.Power(speeds[len(speeds)-1])
+	}
+	return (0.1 + 1.1*rng.Float64()) * max
+}
+
+func className(c pipeline.Class) string {
+	switch c {
+	case pipeline.FullyHomogeneous:
+		return "fully-hom"
+	case pipeline.CommHomogeneous:
+		return "comm-hom"
+	case pipeline.FullyHeterogeneous:
+		return "fully-het"
+	}
+	return fmt.Sprintf("class-%d", int(c))
+}

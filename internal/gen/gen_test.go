@@ -1,0 +1,148 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// TestSampleDeterministic asserts Sample is a pure function of (seed, i).
+func TestSampleDeterministic(t *testing.T) {
+	s := DefaultSpace()
+	for i := 0; i < 50; i++ {
+		a := s.Sample(7, i)
+		b := s.Sample(7, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("draw %d not deterministic:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if a, b := s.Sample(7, 3), s.Sample(8, 3); reflect.DeepEqual(a.Inst, b.Inst) {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+// TestSampleCoversAllCombinations asserts any CombinationCount window hits
+// every (class, model, rule, criterion) combination exactly once.
+func TestSampleCoversAllCombinations(t *testing.T) {
+	s := DefaultSpace()
+	n := s.CombinationCount()
+	if n != 36 {
+		t.Fatalf("combination count = %d, want 36", n)
+	}
+	for _, offset := range []int{0, 17} {
+		seen := map[string]int{}
+		for i := offset; i < offset+n; i++ {
+			sc := s.Sample(1, i)
+			// Combo strips the degenerate suffix, which does not change
+			// the combination.
+			seen[sc.Combo()]++
+		}
+		if len(seen) != n {
+			t.Errorf("window at %d covered %d combinations, want %d: %v", offset, len(seen), n, seen)
+		}
+		for combo, c := range seen {
+			if c != 1 {
+				t.Errorf("combination %s drawn %d times in one window", combo, c)
+			}
+		}
+	}
+}
+
+// TestSampleInstancesValid asserts every generated instance validates and
+// respects the space's size caps, and every request is well-formed for the
+// solver (energy always has period bounds; bound arrays sized to the apps).
+func TestSampleInstancesValid(t *testing.T) {
+	s := DefaultSpace()
+	degens := map[string]int{}
+	for i := 0; i < 200; i++ {
+		sc := s.Sample(3, i)
+		if err := sc.Inst.Validate(); err != nil {
+			t.Fatalf("draw %d (%s): invalid instance: %v", i, sc.Name, err)
+		}
+		if got := sc.Inst.TotalStages(); got > s.MaxTotalStages+1 {
+			// +1: the proc-starved shape may extend a chain past the cap.
+			t.Errorf("draw %d (%s): %d total stages exceeds cap %d", i, sc.Name, got, s.MaxTotalStages)
+		}
+		if got := sc.Inst.Platform.NumProcessors(); got > s.MaxProcs {
+			t.Errorf("draw %d (%s): %d processors exceeds cap %d", i, sc.Name, got, s.MaxProcs)
+		}
+		if sc.Req.Objective == core.Energy && sc.Req.PeriodBounds == nil {
+			t.Errorf("draw %d (%s): energy objective without period bounds", i, sc.Name)
+		}
+		for _, bounds := range [][]float64{sc.Req.PeriodBounds, sc.Req.LatencyBounds} {
+			if bounds != nil && len(bounds) != len(sc.Inst.Apps) {
+				t.Errorf("draw %d (%s): %d bounds for %d apps", i, sc.Name, len(bounds), len(sc.Inst.Apps))
+			}
+		}
+		if sc.Degenerate != "" {
+			degens[sc.Degenerate]++
+		}
+	}
+	for _, want := range degenerates {
+		if degens[want] == 0 {
+			t.Errorf("degenerate shape %q never drawn in 200 draws (%v)", want, degens)
+		}
+	}
+}
+
+// TestDegenerateShapesBite spot-checks that the degenerate shapes actually
+// produce the promised structure.
+func TestDegenerateShapesBite(t *testing.T) {
+	s := DefaultSpace()
+	checked := map[string]bool{}
+	for i := 0; i < 400 && len(checked) < len(degenerates); i++ {
+		sc := s.Sample(11, i)
+		if sc.Degenerate == "" || checked[sc.Degenerate] {
+			continue
+		}
+		switch sc.Degenerate {
+		case DegenZeroData, DegenSpecialApp:
+			for a := range sc.Inst.Apps {
+				app := &sc.Inst.Apps[a]
+				if app.In != 0 {
+					t.Errorf("%s: app %d has input data", sc.Name, a)
+				}
+				for _, st := range app.Stages {
+					if st.Out != 0 {
+						t.Errorf("%s: app %d has output data", sc.Name, a)
+					}
+				}
+			}
+			if sc.Degenerate == DegenSpecialApp && !sc.Inst.SpecialApp() {
+				t.Errorf("%s: instance is not in the special-app case", sc.Name)
+			}
+		case DegenSingleStage:
+			for a := range sc.Inst.Apps {
+				if n := len(sc.Inst.Apps[a].Stages); n != 1 {
+					t.Errorf("%s: app %d has %d stages, want 1", sc.Name, a, n)
+				}
+			}
+		case DegenUniModal:
+			if !sc.Inst.Platform.UniModal() {
+				t.Errorf("%s: platform is not uni-modal", sc.Name)
+			}
+		}
+		checked[sc.Degenerate] = true
+	}
+}
+
+// TestCrudeBoundIsGenerous asserts the calibration bound really does
+// dominate a whole-application single-processor mapping's cycle time.
+func TestCrudeBoundIsGenerous(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	for a := range inst.Apps {
+		b := crudeBound(&inst, a)
+		// Slowest mode of the slowest processor is speed 1, min bandwidth 1.
+		var work, data float64
+		data += inst.Apps[a].In
+		for _, st := range inst.Apps[a].Stages {
+			work += st.Work
+			data += st.Out
+		}
+		if want := data/1 + work/1; b < want {
+			t.Errorf("app %d: crude bound %g below %g", a, b, want)
+		}
+	}
+}

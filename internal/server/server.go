@@ -15,11 +15,14 @@
 //
 // The server is built for a process that stays up: every request runs
 // under a per-request timeout enforced through context cancellation (the
-// batch engine stops picking up jobs once the context is done), the memo
-// cache is bounded (sharded LRU, configurable entry cap) so it can be
-// shared across all requests for the life of the process, and a panic in a
-// handler or inside a memoized computation is recovered into an error
-// response without wedging concurrent waiters on the same cache key.
+// batch engine stops picking up jobs once the context is done), request
+// bodies are capped (http.MaxBytesReader, configurable, structured 413 on
+// overflow), the memo cache is bounded (sharded LRU, configurable entry
+// cap) so it can be shared across all requests for the life of the
+// process, and a panic in a handler or inside a memoized computation is
+// recovered into an error response without wedging concurrent waiters on
+// the same cache key. Every error path answers a structured JSON document
+// {"error": "..."} — never an empty body (see TestPropertyErrorResponses).
 package server
 
 import (
@@ -58,8 +61,22 @@ type Config struct {
 	// expires the request's context is cancelled: queued solver jobs
 	// return the context error and the response reports 504.
 	Timeout time.Duration
+	// MaxBody caps the request body size in bytes; 0 means the default of
+	// 8 MiB, negative disables the cap. An oversized body is rejected with
+	// a structured 413 JSON error instead of an unbounded read.
+	MaxBody int64
 	// Logger receives panic reports and lifecycle messages; nil discards.
 	Logger *log.Logger
+}
+
+// DefaultMaxBody is the request body cap applied when Config.MaxBody is 0.
+const DefaultMaxBody int64 = 8 << 20
+
+func (c Config) maxBody() int64 {
+	if c.MaxBody == 0 {
+		return DefaultMaxBody
+	}
+	return c.MaxBody
 }
 
 // Server is the HTTP solver service. Create with New; it implements
@@ -131,6 +148,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
+	if limit := s.cfg.maxBody(); limit > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
 
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -199,13 +219,24 @@ func decodeBody(r *http.Request, dst any) error {
 	return nil
 }
 
+// decodeStatus maps a body-decoding failure to an HTTP status: an
+// oversized body (http.MaxBytesReader) is 413, anything else is a plain
+// bad request.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // handleSolve runs one request through the engine (sharing the cache and
 // worker pool with every other endpoint) and returns the jobspec result
 // document. Results are bit-identical to calling repro.Solve directly.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var body jobspec.Job
 	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if body.Instance == nil {
@@ -239,7 +270,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	doc, err := jobspec.DecodeFile(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	jobs, err := doc.BatchJobs()
@@ -308,7 +339,7 @@ type paretoResponse struct {
 func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	var body paretoRequest
 	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if body.Instance == nil {
@@ -386,7 +417,7 @@ type simulateResponse struct {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var body simulateRequest
 	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if body.Instance == nil || body.Mapping == nil {
