@@ -22,19 +22,20 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# race runs the race detector over the concurrent packages: the batch
-# engine and its consumers (pareto sweeps, the experiment table drivers,
-# the HTTP server, the public SolveBatch API).
+# race runs the race detector over the concurrent packages: the compiled
+# plan layer, the batch engine and its consumers (pareto sweeps, the
+# experiment table drivers, the HTTP server, the public SolveBatch API).
 race:
-	$(GO) test -race ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ ./internal/diffcheck/ .
+	$(GO) test -race ./internal/plan/ ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ ./internal/diffcheck/ .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-corpus regenerates the committed solver baseline BENCH_solver.json
-# (per-variant ns/op + allocs + cache hit rate over the seeded corpus).
+# (per-variant one-shot and plan-reuse ns/op + allocs + cache hit rate over
+# the seeded corpus; 100 iterations keep the plan-speedup ratios stable).
 bench-corpus:
-	$(GO) test -bench=Corpus -benchtime=1x -run=^$$ .
+	$(GO) test -bench=Corpus -benchtime=100x -run=^$$ .
 
 # diff runs the differential verification corpus (dispatcher vs brute
 # force vs simulator; see EXPERIMENTS.md section DIFF).

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/pareto"
 	"repro/internal/pipeline"
+	"repro/internal/plan"
 	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -167,6 +168,34 @@ func SolveBatch(jobs []Job, opts BatchOptions) ([]BatchResult, BatchStats) {
 func SolveBatchCtx(ctx context.Context, jobs []Job, opts BatchOptions) ([]BatchResult, BatchStats) {
 	return batch.SolveCtx(ctx, jobs, opts)
 }
+
+// Compiled-plan types (see internal/plan).
+type (
+	// Plan is an immutable compiled solver state for one (instance, rule,
+	// communication model) triple, answering many criterion/bound queries
+	// without re-deriving per-instance state. Safe for concurrent use.
+	Plan = plan.Plan
+	// PlanQuery is one criterion/bound question against a compiled plan:
+	// a Request minus the fields fixed at compile time.
+	PlanQuery = plan.Query
+	// PlanStats snapshots a plan's query counters (queries, memo hits,
+	// memo entries, evictions).
+	PlanStats = plan.Stats
+)
+
+// Compile validates and preprocesses an instance once into a Plan whose
+// queries — Plan.Solve(PlanQuery{...}) — are bit-identical to fresh Solve
+// calls with the same rule, model and query fields, but amortize
+// validation, classification and per-instance precomputation across the
+// whole query stream, and answer repeated queries from a memo. Use
+// PlanQueryOf to project an existing Request onto the query axes.
+func Compile(inst *Instance, rule Rule, model CommModel) (*Plan, error) {
+	return plan.Compile(inst, rule, model)
+}
+
+// PlanQueryOf projects a Request onto the plan query axes, dropping the
+// rule and communication model (they are fixed by the plan).
+func PlanQueryOf(req Request) PlanQuery { return plan.QueryOf(req) }
 
 // UniformBounds turns a single global weighted threshold X into the
 // per-application bound array X / W_a.

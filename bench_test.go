@@ -418,6 +418,17 @@ type corpusVariantRecord struct {
 	// solves.
 	NsPerOp     float64 `json:"nsPerOp"`
 	AllocsPerOp float64 `json:"allocsPerOp"`
+	// PlanNsPerOp and PlanAllocsPerOp measure the same scenario batch
+	// answered as repeat queries against pre-compiled plans (the
+	// compile-once/query-many path: plans compiled and warmed outside the
+	// timer, so the op is the steady-state memo hit). PlanN is that
+	// sub-benchmark's iteration count and PlanSpeedup is
+	// NsPerOp / PlanNsPerOp — how much faster the repeat-query path
+	// answers the variant than fresh one-shot solves.
+	PlanNsPerOp     float64 `json:"planNsPerOp"`
+	PlanAllocsPerOp float64 `json:"planAllocsPerOp"`
+	PlanN           int     `json:"planN"`
+	PlanSpeedup     float64 `json:"planSpeedup"`
 }
 
 // corpusCacheRecord is the memo-cache block of BENCH_solver.json.
@@ -445,12 +456,14 @@ type corpusDoc struct {
 
 // BenchmarkCorpus is the solver performance baseline: it solves the seeded
 // verification corpus (the same instances internal/diffcheck checks for
-// correctness) grouped by (class, rule, model, criterion) variant, plus a
-// shared-cache SolveBatch pass, and writes the per-variant ns/op, allocs
-// and cache hit rate to BENCH_solver.json so future changes have a
-// recorded baseline to beat:
+// correctness) grouped by (class, rule, model, criterion) variant — each
+// variant measured both as fresh one-shot solves and as repeat queries
+// against pre-compiled plans (the compile-once/query-many path) — plus a
+// shared-cache SolveBatch pass, and writes the per-variant ns/op, allocs,
+// plan-reuse speedup and cache hit rate to BENCH_solver.json so future
+// changes have a recorded baseline to beat:
 //
-//	go test -bench=Corpus -benchtime=1x -run='^$' .
+//	go test -bench=Corpus -benchtime=100x -run='^$' .
 func BenchmarkCorpus(b *testing.B) {
 	space := gen.DefaultSpace()
 	scenarios := space.Corpus(corpusSeed, 2*space.CombinationCount())
@@ -470,6 +483,7 @@ func BenchmarkCorpus(b *testing.B) {
 	// Sub-benchmark closures run again for every b.N ramp-up, so records
 	// are keyed by name (last, largest-N invocation wins), never appended.
 	records := make(map[string]corpusVariantRecord, len(order))
+	planDone := make(map[string]bool, len(order))
 	var cacheRec *corpusCacheRecord
 	for _, name := range order {
 		group := variants[name]
@@ -494,6 +508,46 @@ func BenchmarkCorpus(b *testing.B) {
 				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(b.N),
 			}
+		})
+		// The compile-once/query-many path over the same scenario batch:
+		// plans are compiled and each query answered once outside the
+		// timer, so the measured op is the steady-state repeat query (the
+		// plan memo's hit path).
+		b.Run(name+"/plan-reuse", func(b *testing.B) {
+			plans := make([]*Plan, len(group))
+			queries := make([]PlanQuery, len(group))
+			for i, sc := range group {
+				pl, err := Compile(&sc.Inst, sc.Req.Rule, sc.Req.Model)
+				if err != nil {
+					b.Fatalf("%s: compile: %v", sc.Name, err)
+				}
+				plans[i], queries[i] = pl, PlanQueryOf(sc.Req)
+				if _, err := pl.Solve(queries[i]); err != nil && !errors.Is(err, ErrInfeasible) {
+					b.Fatalf("%s: %v", sc.Name, err)
+				}
+			}
+			b.ReportAllocs()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range plans {
+					if _, err := plans[j].Solve(queries[j]); err != nil && !errors.Is(err, ErrInfeasible) {
+						b.Fatalf("%s: %v", group[j].Name, err)
+					}
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			rec := records[name]
+			rec.PlanNsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			rec.PlanAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(b.N)
+			rec.PlanN = b.N
+			if rec.PlanNsPerOp > 0 && rec.NsPerOp > 0 {
+				rec.PlanSpeedup = rec.NsPerOp / rec.PlanNsPerOp
+			}
+			records[name] = rec
+			planDone[name] = true
 		})
 	}
 
@@ -531,13 +585,13 @@ func BenchmarkCorpus(b *testing.B) {
 	// Only a complete run may rewrite the committed baseline: a filtered
 	// invocation (e.g. -bench=Corpus/cache) must not clobber it with a
 	// partial document.
-	if len(records) != len(order) || cacheRec == nil {
-		b.Logf("partial corpus run (%d/%d variants, cache %v): BENCH_solver.json left untouched",
-			len(records), len(order), cacheRec != nil)
+	if len(records) != len(order) || len(planDone) != len(order) || cacheRec == nil {
+		b.Logf("partial corpus run (%d/%d variants, %d/%d plan passes, cache %v): BENCH_solver.json left untouched",
+			len(records), len(order), len(planDone), len(order), cacheRec != nil)
 		return
 	}
 	doc := corpusDoc{
-		Regenerate: "go test -bench=Corpus -benchtime=1x -run='^$' .",
+		Regenerate: "go test -bench=Corpus -benchtime=100x -run='^$' .",
 		Seed:       corpusSeed,
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,

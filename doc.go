@@ -20,6 +20,16 @@
 // a simulated-annealing heuristic otherwise, with the provenance reported
 // in the Result.
 //
+// Compile is the many-queries-per-instance entry point (see
+// internal/plan): it validates, classifies and preprocesses one
+// (instance, rule, communication model) triple once into an immutable
+// Plan, whose Solve(PlanQuery{...}) queries are bit-identical to fresh
+// Solve calls but skip all per-instance work and answer repeated queries
+// from a bounded memo with near-zero allocations. Pareto sweeps,
+// experiment tables and batches all route through plans; a shared
+// SolveCache additionally memoizes the compiled plans themselves (the
+// plan tier, inspectable via SolveCacheStats).
+//
 // SolveBatch is the concurrent engine on top of Solve (see
 // internal/batch): it fans a slice of independent jobs across a bounded
 // worker pool, deduplicates identical jobs through a canonical-key
@@ -27,7 +37,8 @@
 // returns per-job results in input order with aggregate statistics. Every
 // result is bit-identical to what sequential Solve returns for the same
 // job. The Pareto frontier builders and the experiment table drivers run
-// on this engine.
+// on this engine, which compiles each distinct instance once per batch
+// through the cache's plan tier.
 //
 // SolveBatchCtx is the context-aware form for long-lived processes: when
 // the context is cancelled, jobs that have not started return ctx.Err()
@@ -62,6 +73,13 @@
 //		{Inst: &inst, Req: req2},
 //	}, repro.BatchOptions{})
 //	// results[i] answers jobs[i]; stats counts cache hits and methods.
+//
+// Compile-once/query-many form, for many questions about one instance:
+//
+//	pl, _ := repro.Compile(&inst, repro.Interval, repro.Overlap)
+//	minPeriod, _ := pl.Solve(repro.PlanQuery{Objective: repro.Period})
+//	minLatency, _ := pl.Solve(repro.PlanQuery{Objective: repro.Latency})
+//	// Bit-identical to repro.Solve, minus the per-request setup.
 //
 // See README.md for an overview, examples/ for runnable programs, the
 // cmd/ directory for the command-line tools (pipegen, pipemap, pipebatch,

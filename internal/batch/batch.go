@@ -28,10 +28,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/plan"
 )
 
 // Job is one solver invocation: an instance and the request to solve on
@@ -73,6 +75,12 @@ type Stats struct {
 	CacheHits int
 	// Errors counts jobs whose Err is non-nil.
 	Errors int
+	// PlanCompiles counts compiled plans built fresh for this batch's
+	// result-cache misses; PlanReuses counts misses answered by a plan
+	// already in the cache's plan tier (possibly compiled by an earlier
+	// batch sharing the Cache). Both are zero with NoDedup, which bypasses
+	// the plan layer entirely.
+	PlanCompiles, PlanReuses int
 	// Methods counts successful jobs per dispatch method, so callers can
 	// see how a batch split across the paper's algorithms.
 	Methods map[core.Method]int
@@ -104,6 +112,7 @@ func SolveCtx(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	var planCompiles, planReuses int64
 	if opts.NoDedup {
 		solveAll(ctx, jobs, workers, results)
 	} else {
@@ -111,10 +120,16 @@ func SolveCtx(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats
 		if cache == nil {
 			cache = NewCache()
 		}
-		solveDeduped(ctx, jobs, workers, cache, results, hits)
+		solveDeduped(ctx, jobs, workers, cache, results, hits, &planCompiles, &planReuses)
 	}
 
-	stats := Stats{Jobs: len(jobs), Methods: make(map[core.Method]int), Wall: time.Since(start)}
+	stats := Stats{
+		Jobs:         len(jobs),
+		PlanCompiles: int(planCompiles),
+		PlanReuses:   int(planReuses),
+		Methods:      make(map[core.Method]int),
+		Wall:         time.Since(start),
+	}
 	for i := range results {
 		if hits[i] {
 			stats.CacheHits++
@@ -138,6 +153,26 @@ func solveOne(inst *pipeline.Instance, req core.Request) (res core.Result, err e
 		}
 	}()
 	return core.Solve(inst, req)
+}
+
+// solvePlanned answers a result-cache miss through the cache's plan tier:
+// it fetches (compiling on first sight) the plan for the job's instance
+// triple and issues the request as an incremental query against it. This is
+// bit-identical to solveOne — Compile performs the same validation
+// core.Solve would, and plan queries dispatch through core.SolvePrepared —
+// and panics are confined the same way (PlanFor and Plan.Solve both publish
+// panics as errors rather than unwinding the worker).
+func solvePlanned(cache *Cache, job Job, planCompiles, planReuses *int64) (core.Result, error) {
+	pl, err, hit := cache.PlanFor(job.Inst, job.Req.Rule, job.Req.Model)
+	if hit {
+		atomic.AddInt64(planReuses, 1)
+	} else {
+		atomic.AddInt64(planCompiles, 1)
+	}
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pl.Solve(plan.QueryOf(job.Req))
 }
 
 // solveAll runs every job individually, no memoization.
@@ -189,7 +224,13 @@ func dispatch(ctx context.Context, n int, ch chan int, skip func(i int)) {
 // head-of-line blocking when duplicated slow jobs mix with unique fast
 // ones). The cache still single-flights across concurrent Solve calls that
 // share it.
-func solveDeduped(ctx context.Context, jobs []Job, workers int, cache *Cache, results []JobResult, hits []bool) {
+//
+// Result-cache misses are answered through the cache's plan tier: the job's
+// instance is compiled once per distinct (instance, rule, comm) triple and
+// every query against it — this batch's and later ones' — reuses the
+// compiled state. planCompiles/planReuses tally fresh compilations versus
+// plan-tier hits for Stats.
+func solveDeduped(ctx context.Context, jobs []Job, workers int, cache *Cache, results []JobResult, hits []bool, planCompiles, planReuses *int64) {
 	keyOrder := make([]string, 0, len(jobs))
 	groups := make(map[string][]int, len(jobs))
 	for i := range jobs {
@@ -223,7 +264,7 @@ func solveDeduped(ctx context.Context, jobs []Job, workers int, cache *Cache, re
 				}
 				job := jobs[idxs[0]]
 				res, err, hit := cache.do(keyOrder[g], func() (core.Result, error) {
-					return solveOne(job.Inst, job.Req)
+					return solvePlanned(cache, job, planCompiles, planReuses)
 				})
 				for n, i := range idxs {
 					jr := JobResult{Err: err}

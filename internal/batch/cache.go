@@ -7,6 +7,9 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/plan"
 )
 
 // numShards bounds lock contention. Keys are lowercase SHA-256 hex, so the
@@ -43,10 +46,20 @@ func hexNibble(c byte) byte {
 // evicted too: waiters already hold the entry and still receive its result;
 // only the single-flight dedup for late arrivals on that key is lost.
 //
+// Beyond final results, a Cache carries a second tier: compiled plans
+// (internal/plan), memoized by the canonical (instance, rule, comm) key.
+// The result tier answers exact repeats; the plan tier makes *related*
+// requests on the same instance cheap — a Pareto sweep, an experiment
+// table, a batch with many queries per instance all compile each distinct
+// instance once and answer every query incrementally against the shared
+// plan. The plan tier is bounded by the same entry cap (plans are far
+// fewer than results: one per distinct instance triple, not per query).
+//
 // The zero value is not usable; call NewCache or NewCacheCap.
 type Cache struct {
 	shards [numShards]cacheShard
 	cap    int // total entry cap; 0 = unbounded
+	plans  planCache
 }
 
 type cacheShard struct {
@@ -81,6 +94,8 @@ func NewCacheCap(maxEntries int) *Cache {
 		maxEntries = 0
 	}
 	c := &Cache{cap: maxEntries}
+	c.plans.cap = maxEntries
+	c.plans.m = make(map[string]*list.Element)
 	quota, extra := maxEntries/numShards, maxEntries%numShards
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*list.Element)
@@ -124,6 +139,12 @@ type CacheStats struct {
 	Hits, Misses int64
 	// Evictions counts entries dropped to keep the cache under its cap.
 	Evictions int64
+	// PlanEntries is the number of memoized compiled plans (including
+	// in-flight compilations); PlanHits and PlanMisses count plan-tier
+	// lookups, PlanEvictions the plans dropped to keep the tier under cap.
+	PlanEntries          int
+	PlanHits, PlanMisses int64
+	PlanEvictions        int64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -133,6 +154,16 @@ func (s CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// PlanHitRate returns PlanHits / (PlanHits + PlanMisses), or 0 before any
+// plan-tier lookup.
+func (s CacheStats) PlanHitRate() float64 {
+	total := s.PlanHits + s.PlanMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanHits) / float64(total)
 }
 
 // Stats returns a snapshot of the cache counters. The totals are summed
@@ -149,6 +180,12 @@ func (c *Cache) Stats() CacheStats {
 		s.Evictions += sh.evictions
 		sh.mu.Unlock()
 	}
+	c.plans.mu.Lock()
+	s.PlanEntries = len(c.plans.m)
+	s.PlanHits = c.plans.hits
+	s.PlanMisses = c.plans.misses
+	s.PlanEvictions = c.plans.evictions
+	c.plans.mu.Unlock()
 	return s
 }
 
@@ -218,4 +255,68 @@ func cloneStored(res core.Result, err error) core.Result {
 		return res
 	}
 	return cloneResult(res)
+}
+
+// planCache is the compiled-plan tier: a single-flight LRU of *plan.Plan
+// keyed by PlanKey. One lock suffices — plan lookups are orders of
+// magnitude rarer than result lookups (one per distinct instance triple per
+// batch, not one per job).
+type planCache struct {
+	mu  sync.Mutex
+	cap int // 0 = unbounded
+	m   map[string]*list.Element
+	lru list.List // front = most recently used; values are *planEntry
+
+	hits, misses, evictions int64
+}
+
+// planEntry is a single-flight compilation slot, published like cacheEntry:
+// ready is closed once pl/err are final.
+type planEntry struct {
+	key   string
+	ready chan struct{}
+	pl    *plan.Plan
+	err   error
+}
+
+// PlanFor returns the compiled plan for (inst, rule, model), compiling it
+// on first arrival; concurrent requests for the same key wait for the one
+// in-flight compilation. hit reports whether an existing (possibly
+// in-flight) plan was reused. The returned *Plan is shared — plans are
+// immutable and safe for concurrent use, so no copy is needed. A
+// compilation failure (invalid instance) is memoized like a result error
+// and returned to every waiter; the panic-publication discipline of the
+// result tier applies here too.
+func (c *Cache) PlanFor(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel) (pl *plan.Plan, err error, hit bool) {
+	key := PlanKey(inst, rule, model)
+	pc := &c.plans
+	pc.mu.Lock()
+	if el, ok := pc.m[key]; ok {
+		e := el.Value.(*planEntry)
+		pc.lru.MoveToFront(el)
+		pc.hits++
+		pc.mu.Unlock()
+		<-e.ready
+		return e.pl, e.err, true
+	}
+	e := &planEntry{key: key, ready: make(chan struct{})}
+	pc.m[key] = pc.lru.PushFront(e)
+	pc.misses++
+	for pc.cap > 0 && len(pc.m) > pc.cap {
+		back := pc.lru.Back()
+		pc.lru.Remove(back)
+		delete(pc.m, back.Value.(*planEntry).key)
+		pc.evictions++
+	}
+	pc.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("batch: plan compilation panicked: %v\n%s", r, debug.Stack())
+		}
+		close(e.ready)
+		pl, err = e.pl, e.err
+	}()
+	e.pl, e.err = plan.Compile(inst, rule, model)
+	return // pl, err are assigned by the deferred publisher
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/mapping"
 	"repro/internal/pipeline"
 )
 
@@ -64,7 +65,37 @@ func (k *keyWriter) matrix(m [][]float64) {
 // cheap to store and compare regardless of instance size.
 func Key(inst *pipeline.Instance, req core.Request) string {
 	k := &keyWriter{h: sha256.New()}
+	k.instance(inst)
 
+	k.i64(int64(req.Rule))
+	k.i64(int64(req.Model))
+	k.i64(int64(req.Objective))
+	k.floats(req.PeriodBounds)
+	k.floats(req.LatencyBounds)
+	k.f64(req.EnergyBudget)
+	k.i64(req.ExactLimit)
+	k.i64(req.Seed)
+	k.i64(int64(req.HeurIters))
+	k.i64(int64(req.HeurRestarts))
+
+	return hex.EncodeToString(k.h.Sum(nil))
+}
+
+// PlanKey returns the canonical key of a compiled plan's inputs: the
+// instance plus the rule and communication model fixed at compile time.
+// Jobs sharing a PlanKey can be answered by one compiled plan (see
+// internal/plan); the key is the hex SHA-256 of the canonical encoding.
+func PlanKey(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel) string {
+	k := &keyWriter{h: sha256.New()}
+	k.instance(inst)
+	k.i64(int64(rule))
+	k.i64(int64(model))
+	return hex.EncodeToString(k.h.Sum(nil))
+}
+
+// instance streams the canonical instance encoding: every field that can
+// influence the solver plus the cosmetic names carried into reports.
+func (k *keyWriter) instance(inst *pipeline.Instance) {
 	k.u64(uint64(len(inst.Apps)))
 	for a := range inst.Apps {
 		app := &inst.Apps[a]
@@ -88,17 +119,4 @@ func Key(inst *pipeline.Instance, req core.Request) string {
 	k.matrix(inst.Platform.OutBandwidth)
 	k.f64(inst.Energy.Static)
 	k.f64(inst.Energy.Alpha)
-
-	k.i64(int64(req.Rule))
-	k.i64(int64(req.Model))
-	k.i64(int64(req.Objective))
-	k.floats(req.PeriodBounds)
-	k.floats(req.LatencyBounds)
-	k.f64(req.EnergyBudget)
-	k.i64(req.ExactLimit)
-	k.i64(req.Seed)
-	k.i64(int64(req.HeurIters))
-	k.i64(int64(req.HeurRestarts))
-
-	return hex.EncodeToString(k.h.Sum(nil))
 }

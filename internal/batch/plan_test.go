@@ -1,0 +1,148 @@
+package batch
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// TestPlanTierSingleFlight asserts the cache's plan tier compiles each
+// distinct (instance, rule, comm) triple exactly once under concurrent
+// demand and shares the one plan.
+func TestPlanTierSingleFlight(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	c := NewCache()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	plans := make([]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pl, err, _ := c.PlanFor(&inst, mapping.Interval, pipeline.Overlap)
+			if err != nil {
+				t.Errorf("PlanFor: %v", err)
+				return
+			}
+			plans[g] = pl
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if plans[g] != plans[0] {
+			t.Fatalf("goroutine %d received a different plan object", g)
+		}
+	}
+	st := c.Stats()
+	if st.PlanEntries != 1 {
+		t.Errorf("PlanEntries = %d, want 1", st.PlanEntries)
+	}
+	if st.PlanMisses != 1 || st.PlanHits != goroutines-1 {
+		t.Errorf("plan tier hits/misses = %d/%d, want %d/1", st.PlanHits, st.PlanMisses, goroutines-1)
+	}
+	if got := st.PlanHitRate(); got <= 0.9 {
+		t.Errorf("PlanHitRate = %g, want > 0.9", got)
+	}
+}
+
+// TestPlanTierCompileError asserts an invalid instance's compilation error
+// is memoized and returned to every caller, like a result-tier error.
+func TestPlanTierCompileError(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	inst.Apps[0].Stages[0].Work = -1
+	c := NewCache()
+	for i := 0; i < 2; i++ {
+		pl, err, hit := c.PlanFor(&inst, mapping.Interval, pipeline.Overlap)
+		if err == nil || pl != nil {
+			t.Fatalf("call %d: PlanFor accepted an invalid instance (plan %v)", i, pl)
+		}
+		if hit != (i == 1) {
+			t.Errorf("call %d: hit = %v", i, hit)
+		}
+	}
+}
+
+// TestPlanTierEviction bounds the plan tier: flooding a capped cache with
+// distinct instances must evict, never exceed the cap.
+func TestPlanTierEviction(t *testing.T) {
+	const cap = 3
+	c := NewCacheCap(cap)
+	for i := 0; i < 2*cap; i++ {
+		inst := pipeline.MotivatingExample()
+		inst.Apps[0].Weight = float64(i + 1) // distinct canonical keys
+		if _, err, _ := c.PlanFor(&inst, mapping.Interval, pipeline.Overlap); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.PlanEntries > cap {
+		t.Errorf("PlanEntries = %d, want <= %d", st.PlanEntries, cap)
+	}
+	if st.PlanEvictions != cap {
+		t.Errorf("PlanEvictions = %d, want %d", st.PlanEvictions, cap)
+	}
+}
+
+// TestBatchPlanStats asserts a batch over one instance compiles exactly one
+// plan and that later batches sharing the cache reuse it, with the counts
+// surfaced in Stats.
+func TestBatchPlanStats(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	jobs := []Job{
+		{Inst: &inst, Req: core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Period}},
+		{Inst: &inst, Req: core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Latency}},
+		{Inst: &inst, Req: core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Energy,
+			PeriodBounds: core.UniformBounds(&inst, 2)}},
+	}
+	c := NewCache()
+	_, stats := Solve(jobs, Options{Cache: c})
+	if stats.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", stats.Errors)
+	}
+	if stats.PlanCompiles != 1 || stats.PlanReuses != len(jobs)-1 {
+		t.Errorf("first batch PlanCompiles/PlanReuses = %d/%d, want 1/%d",
+			stats.PlanCompiles, stats.PlanReuses, len(jobs)-1)
+	}
+	// A new query on the same instance through the same cache: the plan is
+	// already there, so no compilation at all.
+	more := []Job{{Inst: &inst, Req: core.Request{Rule: mapping.Interval, Model: pipeline.Overlap,
+		Objective: core.Energy, PeriodBounds: core.UniformBounds(&inst, 3)}}}
+	_, stats = Solve(more, Options{Cache: c})
+	if stats.PlanCompiles != 0 || stats.PlanReuses != 1 {
+		t.Errorf("second batch PlanCompiles/PlanReuses = %d/%d, want 0/1",
+			stats.PlanCompiles, stats.PlanReuses)
+	}
+	// Repeating the whole first batch is answered by the result tier: the
+	// plan tier is not even consulted.
+	_, stats = Solve(jobs, Options{Cache: c})
+	if stats.CacheHits != len(jobs) {
+		t.Errorf("repeat batch CacheHits = %d, want %d", stats.CacheHits, len(jobs))
+	}
+	if stats.PlanCompiles != 0 || stats.PlanReuses != 0 {
+		t.Errorf("repeat batch PlanCompiles/PlanReuses = %d/%d, want 0/0",
+			stats.PlanCompiles, stats.PlanReuses)
+	}
+}
+
+// TestBatchPlanValidationError asserts an invalid instance surfaces the
+// same validation error through the planned batch path as a direct solve.
+func TestBatchPlanValidationError(t *testing.T) {
+	inst := pipeline.MotivatingExample()
+	inst.Apps[0].Stages[0].Work = -1
+	req := core.Request{Rule: mapping.Interval, Model: pipeline.Overlap, Objective: core.Period}
+	_, want := core.Solve(&inst, req)
+	if want == nil {
+		t.Fatal("core.Solve accepted an invalid instance")
+	}
+	results, stats := Solve([]Job{{Inst: &inst, Req: req}}, Options{})
+	if stats.Errors != 1 || results[0].Err == nil {
+		t.Fatalf("batch did not surface the validation error: %+v", results[0])
+	}
+	if !strings.Contains(results[0].Err.Error(), want.Error()) {
+		t.Errorf("batch error %q does not carry the validation error %q", results[0].Err, want)
+	}
+}

@@ -143,10 +143,19 @@ func Solve(inst *pipeline.Instance, req Request) (Result, error) {
 	if err := inst.Validate(); err != nil {
 		return Result{}, err
 	}
+	return SolvePrepared(inst, inst.Platform.Classify(), req)
+}
+
+// SolvePrepared is Solve for callers that have already validated the
+// instance and classified its platform — the compiled-plan layer
+// (internal/plan) performs both once at compile time and then issues many
+// queries. cls must be inst.Platform.Classify() and inst.Validate() must
+// have returned nil; given that, SolvePrepared(inst, cls, req) is
+// bit-identical to Solve(inst, req).
+func SolvePrepared(inst *pipeline.Instance, cls pipeline.Class, req Request) (Result, error) {
 	if err := checkBounds(inst, req); err != nil {
 		return Result{}, err
 	}
-	cls := inst.Platform.Classify()
 	switch req.Objective {
 	case Period:
 		return solvePeriod(inst, req, cls)

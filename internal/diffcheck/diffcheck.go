@@ -2,7 +2,7 @@
 // the complexity-aware solver dispatcher (internal/core) against two
 // independent oracles on randomly generated instances (internal/gen).
 //
-// For every scenario it checks three properties, mirroring how the KR-Benes
+// For every scenario it checks four properties, mirroring how the KR-Benes
 // line of work validates constructions by exhaustive comparison against the
 // classical baseline:
 //
@@ -20,6 +20,13 @@
 //     optimum: forcing the heuristic path on the same instance must produce
 //     a value bounded below by the brute-force optimum, and its mapping
 //     must pass the same consistency replay.
+//  4. Plan equivalence. Compiling the scenario's instance once
+//     (internal/plan) and replaying a battery of queries against the plan —
+//     the scenario's own request plus a derived one with a different
+//     objective, issued in an order that varies per scenario and each
+//     repeated to exercise the memo — must reproduce fresh one-shot
+//     core.Solve results bit-for-bit: same value, metrics, method,
+//     optimality flag and mapping, or the same error.
 //
 // Check runs one scenario; Run fans a whole corpus out over a worker pool
 // and aggregates a Summary. Both are deterministic per (seed, n).
@@ -29,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"runtime"
 	"sort"
 	"sync"
@@ -39,6 +47,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
+	"repro/internal/plan"
 	"repro/internal/sim"
 )
 
@@ -123,6 +132,10 @@ type Outcome struct {
 	HeurChecked bool
 	HeurValue   float64
 	HeurMissed  bool
+	// PlanQueries counts the plan-equivalence queries replayed against the
+	// scenario's compiled plan, each asserted bit-identical to a fresh
+	// one-shot solve.
+	PlanQueries int
 }
 
 // Check runs the full differential oracle on one scenario. A non-nil error
@@ -134,6 +147,15 @@ func Check(sc *gen.Scenario, opt Options) (Outcome, error) {
 	res, serr := core.Solve(&sc.Inst, sc.Req)
 	if serr != nil && !errors.Is(serr, core.ErrInfeasible) {
 		return out, fmt.Errorf("%s (seed %d, index %d): solver failed: %w", sc.Name, sc.Seed, sc.Index, serr)
+	}
+
+	// Plan equivalence runs on every scenario, feasible or not: an
+	// infeasibility verdict must also reproduce identically through the
+	// compiled plan.
+	var perr error
+	out.PlanQueries, perr = planEquivalence(sc)
+	if perr != nil {
+		return out, fmt.Errorf("%s (seed %d, index %d): plan equivalence: %w", sc.Name, sc.Seed, sc.Index, perr)
 	}
 
 	oracle, oerr := bruteForce(&sc.Inst, sc.Req, opt.oracleLimit())
@@ -244,6 +266,60 @@ func replay(sc *gen.Scenario, res *core.Result, opt Options) error {
 	return nil
 }
 
+// planEquivalence is the compiled-plan oracle: Compile the scenario's
+// instance once and replay a small query battery against the plan — the
+// scenario's own request plus a derived query with a different objective,
+// first in an order that alternates per scenario index, then each a second
+// time so the repeat goes through the plan's memo. Every answer must be
+// bit-for-bit identical to a fresh one-shot core.Solve of the materialized
+// request: reflect.DeepEqual on the Result (exact float bits, method,
+// optimality flag, mapping and metrics slices including their nil-ness) and
+// string equality on errors. Returns the number of queries replayed.
+func planEquivalence(sc *gen.Scenario) (int, error) {
+	pl, err := plan.Compile(&sc.Inst, sc.Req.Rule, sc.Req.Model)
+	if err != nil {
+		return 0, fmt.Errorf("compile failed: %w", err)
+	}
+	base := plan.QueryOf(sc.Req)
+	derived := base
+	if base.Objective == core.Period {
+		derived.Objective = core.Latency
+	} else {
+		derived.Objective = core.Period
+	}
+	distinct := []plan.Query{base, derived}
+	if sc.Index%2 == 1 {
+		distinct[0], distinct[1] = distinct[1], distinct[0]
+	}
+	// One fresh one-shot solve per distinct query (core.Solve is
+	// deterministic per request, so the repeat expects the same answer).
+	type expect struct {
+		res core.Result
+		err error
+	}
+	want := make([]expect, len(distinct))
+	for i, q := range distinct {
+		want[i].res, want[i].err = core.Solve(&sc.Inst, pl.Request(q))
+	}
+	queries := 0
+	for pass := 0; pass < 2; pass++ { // second pass repeats every query: memo path
+		for i, q := range distinct {
+			got, gerr := pl.Solve(q)
+			queries++
+			switch {
+			case (gerr == nil) != (want[i].err == nil),
+				gerr != nil && gerr.Error() != want[i].err.Error():
+				return queries, fmt.Errorf("pass %d query %v: plan error %v, one-shot error %v",
+					pass, q.Objective, gerr, want[i].err)
+			case !reflect.DeepEqual(got, want[i].res):
+				return queries, fmt.Errorf("pass %d query %v: plan result %+v differs from one-shot %+v",
+					pass, q.Objective, got, want[i].res)
+			}
+		}
+	}
+	return queries, nil
+}
+
 // bruteForce enumerates every valid mapping under the request's rule and
 // returns the optimum of the requested objective among those satisfying the
 // request's bounds. It is the ground truth: a single exhaustive pass with
@@ -310,6 +386,10 @@ type Summary struct {
 	// HeurChecked and HeurMisses report the forced-heuristic runs and how
 	// many found no feasible mapping despite one existing.
 	HeurChecked, HeurMisses int
+	// PlanChecked counts scenarios whose plan-equivalence battery ran to
+	// completion; PlanQueries totals the individual plan queries asserted
+	// bit-identical to fresh one-shot solves across them.
+	PlanChecked, PlanQueries int
 }
 
 // ComboNames returns the observed combination labels, sorted.
@@ -381,6 +461,10 @@ func Run(space gen.Space, seed int64, n int, opt Options) (Summary, error) {
 			if out.HeurMissed {
 				sum.HeurMisses++
 			}
+		}
+		if out.PlanQueries > 0 {
+			sum.PlanChecked++
+			sum.PlanQueries += out.PlanQueries
 		}
 	}
 	return sum, errors.Join(reported...)

@@ -41,6 +41,15 @@ func TestDifferential(t *testing.T) {
 	if sum.HeurChecked == 0 {
 		t.Error("no forced-heuristic lower-bound checks ran")
 	}
+	// Plan equivalence must have run on every scenario: each compiled the
+	// instance once and replayed 4 queries (2 distinct, each twice) that
+	// were asserted bit-identical to fresh one-shot solves.
+	if sum.PlanChecked != n {
+		t.Errorf("plan-equivalence battery ran on %d of %d scenarios", sum.PlanChecked, n)
+	}
+	if want := 4 * n; sum.PlanQueries != want {
+		t.Errorf("plan-equivalence replayed %d queries, want %d", sum.PlanQueries, want)
+	}
 	// The corpus must actually route through the paper's polynomial
 	// algorithms, not only the exhaustive fallback.
 	poly := 0
@@ -56,8 +65,8 @@ func TestDifferential(t *testing.T) {
 	if sum.Methods[core.MethodExact] == 0 {
 		t.Errorf("exhaustive fallback never exercised: %v", sum.Methods)
 	}
-	t.Logf("checked %d scenarios: %d feasible, %d infeasible, %d oracle skips, %d/%d heuristic checks missed, methods %v",
-		sum.Checked, sum.Feasible, sum.Infeasible, sum.OracleSkips, sum.HeurMisses, sum.HeurChecked, sum.Methods)
+	t.Logf("checked %d scenarios: %d feasible, %d infeasible, %d oracle skips, %d/%d heuristic checks missed, %d plan queries, methods %v",
+		sum.Checked, sum.Feasible, sum.Infeasible, sum.OracleSkips, sum.HeurMisses, sum.HeurChecked, sum.PlanQueries, sum.Methods)
 }
 
 // TestReplayFlagsPlantedBugs asserts the consistency oracle actually

@@ -14,9 +14,9 @@ import (
 // Diff runs the differential verification harness (experiment DIFF): a
 // seeded corpus of randomly generated scenarios spanning every platform
 // class, communication model, mapping rule and criterion is solved through
-// the dispatcher and cross-checked against brute force and the
-// discrete-event simulator (see internal/diffcheck for the three checked
-// properties). n <= 0 draws six full combination windows.
+// the dispatcher and cross-checked against brute force, the discrete-event
+// simulator and the compiled-plan layer (see internal/diffcheck for the
+// four checked properties). n <= 0 draws six full combination windows.
 func Diff(w io.Writer, seed int64, n int) error {
 	space := gen.DefaultSpace()
 	if n <= 0 {
@@ -33,6 +33,8 @@ func Diff(w io.Writer, seed int64, n int) error {
 	tb.Addf("oracle skips (search space cap)", sum.OracleSkips, okMark(sum.OracleSkips <= sum.Checked/20))
 	tb.Addf("forced-heuristic lower-bound checks", sum.HeurChecked, okMark(err == nil))
 	tb.Addf("heuristic misses (allowed, incomplete)", sum.HeurMisses, "-")
+	tb.Addf("plan-equivalence scenarios", sum.PlanChecked, okMark(sum.PlanChecked == sum.Checked))
+	tb.Addf("plan queries bit-identical to one-shot", sum.PlanQueries, okMark(err == nil))
 	tb.Render(w)
 	fmt.Fprintln(w)
 

@@ -193,11 +193,15 @@ type Result struct {
 
 // Stats mirrors batch.Stats on the wire.
 type Stats struct {
-	Jobs      int            `json:"jobs"`
-	CacheHits int            `json:"cacheHits"`
-	Errors    int            `json:"errors"`
-	WallMs    float64        `json:"wallMs"`
-	Methods   map[string]int `json:"methods"`
+	Jobs      int `json:"jobs"`
+	CacheHits int `json:"cacheHits"`
+	Errors    int `json:"errors"`
+	// PlanCompiles and PlanReuses report the compiled-plan tier: plans
+	// built fresh for this batch versus reused from the shared cache.
+	PlanCompiles int            `json:"planCompiles"`
+	PlanReuses   int            `json:"planReuses"`
+	WallMs       float64        `json:"wallMs"`
+	Methods      map[string]int `json:"methods"`
 }
 
 // Output is the batch response document: per-job results in input order
@@ -231,11 +235,13 @@ func EncodeResult(jr batch.JobResult) (Result, error) {
 // EncodeStats converts engine statistics to their wire form.
 func EncodeStats(s batch.Stats) Stats {
 	out := Stats{
-		Jobs:      s.Jobs,
-		CacheHits: s.CacheHits,
-		Errors:    s.Errors,
-		WallMs:    float64(s.Wall.Microseconds()) / 1000,
-		Methods:   make(map[string]int, len(s.Methods)),
+		Jobs:         s.Jobs,
+		CacheHits:    s.CacheHits,
+		Errors:       s.Errors,
+		PlanCompiles: s.PlanCompiles,
+		PlanReuses:   s.PlanReuses,
+		WallMs:       float64(s.Wall.Microseconds()) / 1000,
+		Methods:      make(map[string]int, len(s.Methods)),
 	}
 	for m, n := range s.Methods {
 		out.Methods[string(m)] = n

@@ -6,17 +6,24 @@
 // polynomial time by sweeping the exact candidate set of achievable
 // periods; elsewhere the exhaustive exact.ParetoFront applies.
 //
-// The candidate sweeps are embarrassingly parallel — every candidate period
-// is an independent min-energy subproblem — so both builders fan their
-// candidates across the internal/batch worker pool and collect the
-// frontier from the in-order results, which keeps the output deterministic
-// while using every core.
+// The candidate sweeps are incremental queries against one compiled plan
+// (internal/plan): the instance is validated, classified and preprocessed
+// once, the exact candidate set comes from the plan's precomputed state, and
+// every candidate is then an independent min-energy query — embarrassingly
+// parallel, so both builders fan the queries across a bounded goroutine pool
+// and collect the frontier from the in-order results, which keeps the output
+// deterministic while using every core. With a shared batch.Cache (via
+// Options.Cache) the plan itself is fetched from the cache's plan tier, so
+// successive sweeps over one instance — or a sweep after a batch that
+// already touched it — compile nothing at all.
 package pareto
 
 import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/algo/exact"
 	"repro/internal/batch"
@@ -24,6 +31,7 @@ import (
 	"repro/internal/fmath"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
+	"repro/internal/plan"
 )
 
 // Point is one (weighted global period, total energy) trade-off with a
@@ -57,68 +65,87 @@ func Filter(points []Point) []Point {
 	return out
 }
 
-// periodCandidates returns every achievable weighted global period value of
-// interval mappings on a fully homogeneous platform: W_a times the cycle
-// time of any stage interval at any common speed.
-func periodCandidates(inst *pipeline.Instance, model pipeline.CommModel) []float64 {
-	speeds := inst.Platform.Processors[0].Speeds
-	b, _ := inst.Platform.HomogeneousLinks()
-	var cands []float64
-	for a := range inst.Apps {
-		w := inst.Apps[a].EffectiveWeight()
-		app := &inst.Apps[a]
-		pre := app.WorkPrefix()
-		n := app.NumStages()
-		for _, s := range speeds {
-			for f := 0; f < n; f++ {
-				for t := f; t < n; t++ {
-					in, out := 0.0, 0.0
-					if v := app.InputSize(f); v > 0 {
-						in = v / b
-					}
-					if v := app.OutputSize(t); v > 0 {
-						out = v / b
-					}
-					cands = append(cands, w*mapping.IntervalCost(model, in, (pre[t+1]-pre[f])/s, out))
-				}
-			}
-		}
+// planFor resolves the compiled plan for a sweep: through the shared
+// cache's plan tier when a cache was provided (so successive sweeps and
+// batches over the same instance compile once between them), otherwise a
+// private compilation scoped to this sweep.
+func planFor(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, opts batch.Options) (*plan.Plan, error) {
+	if opts.Cache != nil {
+		pl, err, _ := opts.Cache.PlanFor(inst, rule, model)
+		return pl, err
 	}
-	return fmath.SortedUnique(cands)
+	return plan.Compile(inst, rule, model)
 }
 
 // sweepFrontier solves the min-energy-under-period problem at every
-// candidate period concurrently (one batch job per candidate; core.Solve
-// dispatches each to the paper's polynomial algorithm for the platform
-// class) and filters the feasible results down to the frontier. A
-// candidate whose bounds no mapping can satisfy (core.ErrInfeasible —
-// including platform shapes the rule cannot map at all, e.g. one-to-one
-// with fewer processors than stages) is skipped, matching the sequential
+// candidate period as concurrent incremental queries against one compiled
+// plan (each query dispatches to the paper's polynomial algorithm for the
+// platform class; validation and classification were paid once at compile
+// time) and filters the feasible results down to the frontier. A candidate
+// whose bounds no mapping can satisfy (core.ErrInfeasible — including
+// platform shapes the rule cannot map at all, e.g. one-to-one with fewer
+// processors than stages) is skipped, matching the sequential
 // implementation: an empty frontier, not an error, reports that nothing is
-// achievable. Every other job error — an unsupported criteria combination,
-// an invalid instance, a cancelled context — is propagated: swallowing it
-// would disguise a broken query as "nothing achievable".
-func sweepFrontier(ctx context.Context, inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, cands []float64, opts batch.Options) ([]Point, error) {
-	jobs := make([]batch.Job, len(cands))
-	for i, cand := range cands {
-		jobs[i] = batch.Job{Inst: inst, Req: core.Request{
-			Rule: rule, Model: model, Objective: core.Energy,
-			PeriodBounds: core.UniformBounds(inst, cand),
-		}}
+// achievable. Every other query error — an unsupported criteria
+// combination, a cancelled context — is propagated: swallowing it would
+// disguise a broken query as "nothing achievable".
+func sweepFrontier(ctx context.Context, pl *plan.Plan, cands []float64, opts batch.Options) ([]Point, error) {
+	results := make([]struct {
+		res core.Result
+		err error
+	}, len(cands))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	results, _ := batch.SolveCtx(ctx, jobs, opts)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					results[i].err = err
+					continue
+				}
+				results[i].res, results[i].err = pl.Solve(plan.Query{
+					Objective:    core.Energy,
+					PeriodBounds: core.UniformBounds(pl.Instance(), cands[i]),
+				})
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < len(cands); i++ {
+		select {
+		case <-ctx.Done():
+			// Undelivered candidates never reached a worker, so writing
+			// their slots here is race-free.
+			for j := i; j < len(cands); j++ {
+				results[j].err = ctx.Err()
+			}
+			break dispatch
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
 	var points []Point
-	for _, jr := range results {
-		if jr.Err != nil {
-			if errors.Is(jr.Err, core.ErrInfeasible) {
+	for i := range results {
+		if results[i].err != nil {
+			if errors.Is(results[i].err, core.ErrInfeasible) {
 				continue // not achievable at this candidate period
 			}
-			return nil, jr.Err
+			return nil, results[i].err
 		}
 		points = append(points, Point{
-			Period:  jr.Result.Metrics.Period,
-			Energy:  jr.Result.Value,
-			Mapping: jr.Result.Mapping,
+			Period:  results[i].res.Metrics.Period,
+			Energy:  results[i].res.Value,
+			Mapping: results[i].res.Mapping,
 		})
 	}
 	return Filter(points), nil
@@ -135,9 +162,14 @@ func PeriodEnergyFullyHom(inst *pipeline.Instance, model pipeline.CommModel) ([]
 
 // PeriodEnergyFullyHomCtx is PeriodEnergyFullyHom with cancellation and
 // batch options (worker bound, shared cache): a server can abort a sweep on
-// request timeout and reuse memoized candidate solves across requests.
+// request timeout and, through the cache's plan tier, reuse the compiled
+// plan — and its memoized candidate solves — across requests.
 func PeriodEnergyFullyHomCtx(ctx context.Context, inst *pipeline.Instance, model pipeline.CommModel, opts batch.Options) ([]Point, error) {
-	return sweepFrontier(ctx, inst, mapping.Interval, model, periodCandidates(inst, model), opts)
+	pl, err := planFor(inst, mapping.Interval, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sweepFrontier(ctx, pl, pl.ParetoCandidates(), opts)
 }
 
 // PeriodEnergyOneToOneCommHom computes the one-to-one period/energy
@@ -151,27 +183,11 @@ func PeriodEnergyOneToOneCommHom(inst *pipeline.Instance, model pipeline.CommMod
 // PeriodEnergyOneToOneCommHomCtx is PeriodEnergyOneToOneCommHom with
 // cancellation and batch options (worker bound, shared cache).
 func PeriodEnergyOneToOneCommHomCtx(ctx context.Context, inst *pipeline.Instance, model pipeline.CommModel, opts batch.Options) ([]Point, error) {
-	b, _ := inst.Platform.HomogeneousLinks()
-	var cands []float64
-	for a := range inst.Apps {
-		app := &inst.Apps[a]
-		w := app.EffectiveWeight()
-		for k := range app.Stages {
-			in, out := 0.0, 0.0
-			if v := app.InputSize(k); v > 0 {
-				in = v / b
-			}
-			if v := app.OutputSize(k); v > 0 {
-				out = v / b
-			}
-			for u := range inst.Platform.Processors {
-				for _, s := range inst.Platform.Processors[u].Speeds {
-					cands = append(cands, w*mapping.IntervalCost(model, in, app.Stages[k].Work/s, out))
-				}
-			}
-		}
+	pl, err := planFor(inst, mapping.OneToOne, model, opts)
+	if err != nil {
+		return nil, err
 	}
-	return sweepFrontier(ctx, inst, mapping.OneToOne, model, fmath.SortedUnique(cands), opts)
+	return sweepFrontier(ctx, pl, pl.ParetoCandidates(), opts)
 }
 
 // PeriodEnergyCtx computes the period/energy trade-off frontier under the

@@ -1,0 +1,428 @@
+// Package plan is the compiled-plan layer of the solver: Compile
+// preprocesses one (instance, rule, communication model) triple once into
+// an immutable Plan — validated and privately cloned instance, platform
+// class, per-application work prefix sums, advisory per-application period
+// lower bounds, and (lazily) the exact Pareto candidate-period set — that
+// can then answer many criterion/bound queries without re-deriving any of
+// that state.
+//
+// Plan.Solve is bit-identical to core.Solve on the same problem (the
+// differential harness in internal/diffcheck replays every corpus scenario
+// through both paths and asserts exact agreement), but a Plan amortizes the
+// per-request work three ways:
+//
+//   - validation and platform classification run once at compile time, not
+//     per query (core.SolvePrepared skips both);
+//   - repeated queries are answered from a single-flight LRU memo keyed by
+//     a canonical query encoding, so the steady-state repeat-query path is
+//     a map lookup plus a defensive copy — near-zero allocations and
+//     orders of magnitude faster than a fresh solve;
+//   - query keys are encoded into pooled scratch buffers (sync.Pool), so
+//     the hot path does not regrow an arena per call.
+//
+// A Plan is safe for concurrent use by any number of goroutines; every
+// returned Result is an independent deep copy, so callers can mutate their
+// mappings freely without corrupting the memo (the same aliasing guarantee
+// the batch cache makes). Plans are themselves memoized across requests by
+// the batch engine's plan cache tier (internal/batch.Cache), keyed by the
+// canonical (instance, rule, comm) encoding.
+package plan
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fmath"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// memoCap bounds each plan's query memo: beyond it the least recently used
+// query results are evicted, so a long-lived cached plan cannot grow
+// without bound under adversarial query streams.
+const memoCap = 4096
+
+// Query is one criterion/bound question against a compiled plan. It is
+// core.Request minus the fields fixed at compile time (rule and
+// communication model). The nil-ness of the bound slices is semantically
+// meaningful, exactly as on core.Request: nil means unconstrained.
+type Query struct {
+	// Objective is the criterion to minimize.
+	Objective core.Criterion
+	// PeriodBounds and LatencyBounds constrain the per-application
+	// unweighted period/latency when non-nil.
+	PeriodBounds  []float64
+	LatencyBounds []float64
+	// EnergyBudget, if positive, constrains the total energy.
+	EnergyBudget float64
+	// ExactLimit, Seed, HeurIters and HeurRestarts tune the exhaustive and
+	// heuristic fallbacks exactly as on core.Request.
+	ExactLimit              int64
+	Seed                    int64
+	HeurIters, HeurRestarts int
+}
+
+// QueryOf projects a core.Request onto the plan query axes, dropping the
+// rule and communication model (they are properties of the plan).
+func QueryOf(req core.Request) Query {
+	return Query{
+		Objective:     req.Objective,
+		PeriodBounds:  req.PeriodBounds,
+		LatencyBounds: req.LatencyBounds,
+		EnergyBudget:  req.EnergyBudget,
+		ExactLimit:    req.ExactLimit,
+		Seed:          req.Seed,
+		HeurIters:     req.HeurIters,
+		HeurRestarts:  req.HeurRestarts,
+	}
+}
+
+// entry is one memoized query: a single-flight slot whose ready channel is
+// closed once res/err are final, so concurrent duplicates block instead of
+// recomputing and never observe a partial write.
+type entry struct {
+	key   string
+	ready chan struct{}
+	res   core.Result
+	err   error
+}
+
+// Plan is an immutable compiled solver state answering many queries for one
+// (instance, rule, communication model) triple. Create with Compile; the
+// zero value is not usable.
+type Plan struct {
+	inst  pipeline.Instance
+	rule  mapping.Rule
+	model pipeline.CommModel
+	cls   pipeline.Class
+
+	// prefixes[a] is Apps[a].WorkPrefix(), computed once.
+	prefixes [][]float64
+	// periodLB[a] is an advisory lower bound on application a's unweighted
+	// period under any mapping (see PeriodLowerBounds).
+	periodLB []float64
+
+	candsOnce sync.Once
+	cands     []float64
+
+	mu   sync.Mutex
+	memo map[string]*list.Element
+	lru  list.List // front = most recently used; values are *entry
+
+	queries, hits, evictions atomic.Int64
+}
+
+// keyPool recycles query-key scratch buffers across Solve calls (the
+// per-query arena of the package docs).
+var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// Compile validates the instance once, clones it (the plan owns its copy:
+// later caller mutations of inst cannot corrupt compiled state), classifies
+// the platform and precomputes the per-application prefix sums and period
+// lower bounds. The same inputs always compile to a plan whose queries are
+// bit-identical to fresh core.Solve calls on the original instance.
+func Compile(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel) (*Plan, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		inst:  inst.Clone(),
+		rule:  rule,
+		model: model,
+		memo:  make(map[string]*list.Element),
+	}
+	p.cls = p.inst.Platform.Classify()
+	p.prefixes = make([][]float64, len(p.inst.Apps))
+	p.periodLB = make([]float64, len(p.inst.Apps))
+	maxSpeed := 0.0
+	for u := range p.inst.Platform.Processors {
+		maxSpeed = math.Max(maxSpeed, p.inst.Platform.Processors[u].MaxSpeed())
+	}
+	for a := range p.inst.Apps {
+		app := &p.inst.Apps[a]
+		p.prefixes[a] = app.WorkPrefix()
+		// Any interval containing stage k computes at least work_k at some
+		// speed <= maxSpeed, and the interval's cycle time is at least its
+		// computation time under both communication models.
+		lb := 0.0
+		for k := range app.Stages {
+			lb = math.Max(lb, app.Stages[k].Work/maxSpeed)
+		}
+		p.periodLB[a] = lb
+	}
+	return p, nil
+}
+
+// Instance returns the plan's private instance. It is shared, not copied:
+// callers must treat it as read-only.
+func (p *Plan) Instance() *pipeline.Instance { return &p.inst }
+
+// Rule returns the mapping rule fixed at compile time.
+func (p *Plan) Rule() mapping.Rule { return p.rule }
+
+// Model returns the communication model fixed at compile time.
+func (p *Plan) Model() pipeline.CommModel { return p.model }
+
+// Class returns the platform class computed at compile time.
+func (p *Plan) Class() pipeline.Class { return p.cls }
+
+// WorkPrefix returns application a's precomputed work prefix sums (shared,
+// read-only).
+func (p *Plan) WorkPrefix(a int) []float64 { return p.prefixes[a] }
+
+// PeriodLowerBounds returns an advisory per-application lower bound on the
+// unweighted period achievable by any mapping under any rule: no interval's
+// cycle time can undercut its largest stage at the platform's fastest
+// speed. The slice is shared, read-only. It is advisory — admission control
+// can reject hopeless period bounds early — and is never used to shortcut
+// Solve, which must stay bit-identical to core.Solve.
+func (p *Plan) PeriodLowerBounds() []float64 { return p.periodLB }
+
+// Request materializes the full core.Request a query stands for.
+func (p *Plan) Request(q Query) core.Request {
+	return core.Request{
+		Rule:          p.rule,
+		Model:         p.model,
+		Objective:     q.Objective,
+		PeriodBounds:  q.PeriodBounds,
+		LatencyBounds: q.LatencyBounds,
+		EnergyBudget:  q.EnergyBudget,
+		ExactLimit:    q.ExactLimit,
+		Seed:          q.Seed,
+		HeurIters:     q.HeurIters,
+		HeurRestarts:  q.HeurRestarts,
+	}
+}
+
+// Solve answers one query against the compiled state. The first arrival of
+// a query key runs the solver (via core.SolvePrepared — validation and
+// classification were paid at compile time); duplicates, concurrent or
+// later, are answered from the memo. The returned Result is an independent
+// deep copy and the error, value, metrics, method, optimality flag and
+// mapping are bit-identical to core.Solve(instance, plan.Request(q)).
+func (p *Plan) Solve(q Query) (res core.Result, err error) {
+	p.queries.Add(1)
+	kp := keyPool.Get().(*[]byte)
+	buf := appendQueryKey((*kp)[:0], q)
+
+	p.mu.Lock()
+	if el, ok := p.memo[string(buf)]; ok {
+		e := el.Value.(*entry)
+		p.lru.MoveToFront(el)
+		p.hits.Add(1)
+		p.mu.Unlock()
+		*kp = buf
+		keyPool.Put(kp)
+		<-e.ready
+		return cloneStored(e.res, e.err), e.err
+	}
+	e := &entry{key: string(buf), ready: make(chan struct{})}
+	p.memo[e.key] = p.lru.PushFront(e)
+	for len(p.memo) > memoCap {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		delete(p.memo, back.Value.(*entry).key)
+		p.evictions.Add(1)
+	}
+	p.mu.Unlock()
+	*kp = buf
+	keyPool.Put(kp)
+
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("plan: query panicked: %v\n%s", r, debug.Stack())
+		}
+		close(e.ready)
+		res, err = cloneStored(e.res, e.err), e.err
+	}()
+	e.res, e.err = core.SolvePrepared(&p.inst, p.cls, p.Request(q))
+	return // res, err are assigned by the deferred publisher
+}
+
+// cloneStored hands out an independent copy of a memoized success; failures
+// keep the zero Result untouched (cloning would turn nil slices into empty
+// ones, breaking bit-identity with a direct core.Solve call). It is the
+// steady-state cost of a memo hit, so the copy is packed into three backing
+// allocations (apps, intervals, metric floats) instead of one per slice —
+// nil-ness of every slice is preserved, and full-capacity reslicing keeps
+// the handed-out slices append-safe for callers.
+func cloneStored(res core.Result, err error) core.Result {
+	if err != nil {
+		return res
+	}
+	c := res
+	if res.Mapping.Apps != nil {
+		apps := make([]mapping.AppMapping, len(res.Mapping.Apps))
+		total := 0
+		for i := range res.Mapping.Apps {
+			total += len(res.Mapping.Apps[i].Intervals)
+		}
+		backing := make([]mapping.PlacedInterval, total)
+		off := 0
+		for i := range res.Mapping.Apps {
+			src := res.Mapping.Apps[i].Intervals
+			if src == nil {
+				continue
+			}
+			dst := backing[off : off+len(src) : off+len(src)]
+			copy(dst, src)
+			apps[i].Intervals = dst
+			off += len(src)
+		}
+		c.Mapping.Apps = apps
+	}
+	np, nl := len(res.Metrics.AppPeriods), len(res.Metrics.AppLatencies)
+	if res.Metrics.AppPeriods != nil || res.Metrics.AppLatencies != nil {
+		floats := make([]float64, np+nl)
+		if res.Metrics.AppPeriods != nil {
+			c.Metrics.AppPeriods = floats[0:np:np]
+			copy(c.Metrics.AppPeriods, res.Metrics.AppPeriods)
+		}
+		if res.Metrics.AppLatencies != nil {
+			c.Metrics.AppLatencies = floats[np : np+nl : np+nl]
+			copy(c.Metrics.AppLatencies, res.Metrics.AppLatencies)
+		}
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of a plan's query counters.
+type Stats struct {
+	// Queries counts Solve calls; Hits those answered by the memo
+	// (including waits on an in-flight duplicate).
+	Queries, Hits int64
+	// Entries is the number of memoized query keys; Evictions how many
+	// were dropped to keep the memo under its cap.
+	Entries   int
+	Evictions int64
+}
+
+// HitRate returns Hits / Queries, or 0 before any query.
+func (s Stats) HitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Queries)
+}
+
+// QueryStats returns a snapshot of the plan's counters.
+func (p *Plan) QueryStats() Stats {
+	p.mu.Lock()
+	n := len(p.memo)
+	p.mu.Unlock()
+	return Stats{
+		Queries:   p.queries.Load(),
+		Hits:      p.hits.Load(),
+		Entries:   n,
+		Evictions: p.evictions.Load(),
+	}
+}
+
+// ParetoCandidates returns the exact candidate set of achievable weighted
+// global period values for the plan's rule, computed once per plan and
+// shared thereafter (read-only). It is meaningful on the platform classes
+// where the paper's bi-criteria sweeps are polynomial: interval mappings on
+// fully homogeneous platforms (every W_a times the cycle time of any stage
+// interval at any common speed) and one-to-one mappings on communication
+// homogeneous platforms (every W_a times any single stage's cycle time at
+// any processor mode).
+func (p *Plan) ParetoCandidates() []float64 {
+	p.candsOnce.Do(func() {
+		if p.rule == mapping.Interval {
+			p.cands = p.intervalCandidates()
+		} else {
+			p.cands = p.oneToOneCandidates()
+		}
+	})
+	return p.cands
+}
+
+// intervalCandidates enumerates W_a * cycle time of every stage interval at
+// every common speed (fully homogeneous platforms).
+func (p *Plan) intervalCandidates() []float64 {
+	speeds := p.inst.Platform.Processors[0].Speeds
+	b, _ := p.inst.Platform.HomogeneousLinks()
+	var cands []float64
+	for a := range p.inst.Apps {
+		w := p.inst.Apps[a].EffectiveWeight()
+		app := &p.inst.Apps[a]
+		pre := p.prefixes[a]
+		n := app.NumStages()
+		for _, s := range speeds {
+			for f := 0; f < n; f++ {
+				for t := f; t < n; t++ {
+					in, out := 0.0, 0.0
+					if v := app.InputSize(f); v > 0 {
+						in = v / b
+					}
+					if v := app.OutputSize(t); v > 0 {
+						out = v / b
+					}
+					cands = append(cands, w*mapping.IntervalCost(p.model, in, (pre[t+1]-pre[f])/s, out))
+				}
+			}
+		}
+	}
+	return fmath.SortedUnique(cands)
+}
+
+// oneToOneCandidates enumerates W_a * any single stage's cycle time at any
+// processor mode (communication homogeneous platforms).
+func (p *Plan) oneToOneCandidates() []float64 {
+	b, _ := p.inst.Platform.HomogeneousLinks()
+	var cands []float64
+	for a := range p.inst.Apps {
+		app := &p.inst.Apps[a]
+		w := app.EffectiveWeight()
+		for k := range app.Stages {
+			in, out := 0.0, 0.0
+			if v := app.InputSize(k); v > 0 {
+				in = v / b
+			}
+			if v := app.OutputSize(k); v > 0 {
+				out = v / b
+			}
+			for u := range p.inst.Platform.Processors {
+				for _, s := range p.inst.Platform.Processors[u].Speeds {
+					cands = append(cands, w*mapping.IntervalCost(p.model, in, app.Stages[k].Work/s, out))
+				}
+			}
+		}
+	}
+	return fmath.SortedUnique(cands)
+}
+
+// appendQueryKey appends a canonical binary encoding of the query to dst:
+// every field is written with an explicit presence/length tag so no two
+// distinct queries share an encoding (floats as IEEE-754 bit patterns, nil
+// slices distinguished from empty ones — "unconstrained" differs from
+// "constrained by an empty array" to the solver's bound checks).
+func appendQueryKey(dst []byte, q Query) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(q.Objective))
+	dst = appendFloats(dst, q.PeriodBounds)
+	dst = appendFloats(dst, q.LatencyBounds)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(q.EnergyBudget))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(q.ExactLimit))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(q.Seed))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(q.HeurIters))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(q.HeurRestarts))
+	return dst
+}
+
+func appendFloats(dst []byte, xs []float64) []byte {
+	if xs == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(xs)))
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}

@@ -469,7 +469,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// cacheStatsJSON is the /stats cache block.
+// cacheStatsJSON is the /stats cache block: the result tier plus the
+// compiled-plan tier (plans memoized by canonical (instance, rule, comm)
+// key — see internal/plan).
 type cacheStatsJSON struct {
 	Entries   int     `json:"entries"`
 	Cap       int     `json:"cap"`
@@ -477,6 +479,12 @@ type cacheStatsJSON struct {
 	Misses    int64   `json:"misses"`
 	Evictions int64   `json:"evictions"`
 	HitRate   float64 `json:"hitRate"`
+
+	PlanEntries   int     `json:"planEntries"`
+	PlanHits      int64   `json:"planHits"`
+	PlanMisses    int64   `json:"planMisses"`
+	PlanEvictions int64   `json:"planEvictions"`
+	PlanHitRate   float64 `json:"planHitRate"`
 }
 
 type statsResponse struct {
@@ -504,6 +512,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Misses:    cs.Misses,
 			Evictions: cs.Evictions,
 			HitRate:   cs.HitRate(),
+
+			PlanEntries:   cs.PlanEntries,
+			PlanHits:      cs.PlanHits,
+			PlanMisses:    cs.PlanMisses,
+			PlanEvictions: cs.PlanEvictions,
+			PlanHitRate:   cs.PlanHitRate(),
 		},
 	}
 	s.mu.Lock()

@@ -378,6 +378,12 @@ func TestHealthzAndStats(t *testing.T) {
 			Misses    int64   `json:"misses"`
 			Evictions int64   `json:"evictions"`
 			HitRate   float64 `json:"hitRate"`
+
+			PlanEntries   int     `json:"planEntries"`
+			PlanHits      int64   `json:"planHits"`
+			PlanMisses    int64   `json:"planMisses"`
+			PlanEvictions int64   `json:"planEvictions"`
+			PlanHitRate   float64 `json:"planHitRate"`
 		} `json:"cache"`
 	}
 	decode(t, rec, &resp)
@@ -392,6 +398,11 @@ func TestHealthzAndStats(t *testing.T) {
 	}
 	if resp.Cache.HitRate <= 0 || resp.Cache.HitRate >= 1 {
 		t.Errorf("hitRate = %g", resp.Cache.HitRate)
+	}
+	// The first solve compiled the instance's plan (a plan-tier miss); the
+	// duplicate was answered by the result tier without consulting it.
+	if resp.Cache.PlanEntries != 1 || resp.Cache.PlanMisses != 1 {
+		t.Errorf("plan tier block = %+v, want 1 entry from 1 miss", resp.Cache)
 	}
 	if len(resp.Methods) == 0 {
 		t.Error("no per-method counts")
