@@ -63,12 +63,12 @@ func run(args []string, stdout io.Writer) error {
 	parts := strings.SplitN(*stages, ":", 2)
 	minStages, err := strconv.Atoi(parts[0])
 	if err != nil {
-		return fmt.Errorf("bad -stages %q: %v", *stages, err)
+		return fmt.Errorf("bad -stages %q: %w", *stages, err)
 	}
 	maxStages := minStages
 	if len(parts) == 2 {
 		if maxStages, err = strconv.Atoi(parts[1]); err != nil {
-			return fmt.Errorf("bad -stages %q: %v", *stages, err)
+			return fmt.Errorf("bad -stages %q: %w", *stages, err)
 		}
 	}
 	cfg := workload.Config{

@@ -1,0 +1,66 @@
+// Command pipelint runs the repo-specific static analyzer suite
+// (internal/lint) over the module: five analyzers enforcing the solver's
+// safety invariants — memo-aliasing, context flow, error classification,
+// tolerant float comparison and (seed,index) determinism. See
+// internal/lint's package documentation for what each analyzer guards and
+// how to suppress a finding with a justification.
+//
+// Usage:
+//
+//	pipelint [-list] [-C dir] [packages]
+//
+// packages default to ./... and use the go tool's pattern syntax; -C
+// changes into dir (the module root) first. The exit status is 0 when the
+// tree is clean, 1 on findings, 2 on usage or load errors. Run it from
+// the module root, e.g.:
+//
+//	go run ./cmd/pipelint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "module root directory to lint from")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pipelint [-list] [-C dir] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipelint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipelint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pipelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -49,6 +49,15 @@
 // arbitrarily long request stream — cmd/pipeserved runs the solver as an
 // HTTP service exactly this way.
 //
+// The invariants these layers rely on — memoized plans and results never
+// escaping their caches uncloned, contexts flowing to every blocking call,
+// sentinel errors matched with errors.Is, float comparisons routed through
+// internal/fmath, and solver output depending only on (instance, seed) —
+// are enforced mechanically by the pipelint analyzer suite in
+// internal/lint (binary: cmd/pipelint, run by make lint and CI). See that
+// package's documentation for each analyzer and the //lint:allow
+// suppression directive.
+//
 // A discrete-event simulator (Simulate, VerifyMapping) executes mappings
 // dataset-by-dataset and reproduces the analytic period and latency
 // formulas, and Pareto frontier builders answer the paper's laptop problem

@@ -33,6 +33,9 @@ func Allocate(curves [][]float64, p int) ([]int, float64) {
 		c := curves[amax]
 		// The bottleneck application cannot improve with more processors:
 		// the global objective is settled.
+		// An exact comparison only risks a harmless extra refinement pass; a
+		// tolerant GE could stop before the bottleneck truly settles.
+		//lint:allow floatcmp exact settling test; curve values share one arithmetic path
 		if counts[amax] >= len(c) || c[len(c)-1] >= vals[amax] {
 			break
 		}

@@ -320,9 +320,11 @@ func sortPoints(ps []Point) {
 }
 
 func less(a, b Point) bool {
+	//lint:allow floatcmp sort comparator needs an exact total order (tolerant EQ is not transitive)
 	if a.Period != b.Period {
 		return a.Period < b.Period
 	}
+	//lint:allow floatcmp sort comparator needs an exact total order (tolerant EQ is not transitive)
 	if a.Latency != b.Latency {
 		return a.Latency < b.Latency
 	}

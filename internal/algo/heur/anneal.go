@@ -35,6 +35,7 @@ func anneal(rng *rand.Rand, inst *pipeline.Instance, m *mapping.Mapping, obj Obj
 		switch {
 		case math.IsInf(v, 1):
 			accept = false
+		//lint:allow floatcmp annealing acceptance is heuristic; tolerance would only perturb accept probability
 		case v <= cur:
 			accept = true
 		case !math.IsInf(cur, 1):

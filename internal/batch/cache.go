@@ -297,6 +297,7 @@ func (c *Cache) PlanFor(inst *pipeline.Instance, rule mapping.Rule, model pipeli
 		pc.hits++
 		pc.mu.Unlock()
 		<-e.ready
+		//lint:allow memoalias plans are immutable by construction; sharing is the point of the tier
 		return e.pl, e.err, true
 	}
 	e := &planEntry{key: key, ready: make(chan struct{})}
@@ -315,6 +316,7 @@ func (c *Cache) PlanFor(inst *pipeline.Instance, rule mapping.Rule, model pipeli
 			e.err = fmt.Errorf("batch: plan compilation panicked: %v\n%s", r, debug.Stack())
 		}
 		close(e.ready)
+		//lint:allow memoalias plans are immutable by construction; sharing is the point of the tier
 		pl, err = e.pl, e.err
 	}()
 	e.pl, e.err = plan.Compile(inst, rule, model)

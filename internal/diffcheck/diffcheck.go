@@ -235,6 +235,7 @@ func replay(sc *gen.Scenario, res *core.Result, opt Options) error {
 		return fmt.Errorf("returned mapping invalid: %w", err)
 	}
 	mt := mapping.Evaluate(inst, &res.Mapping, req.Model)
+	//lint:allow floatcmp the oracle asserts bit-for-bit agreement; tolerance would mask drift
 	if mt.Period != res.Metrics.Period || mt.Latency != res.Metrics.Latency || mt.Energy != res.Metrics.Energy {
 		return fmt.Errorf("reported metrics (T %g, L %g, E %g) differ from re-evaluation (T %g, L %g, E %g)",
 			res.Metrics.Period, res.Metrics.Latency, res.Metrics.Energy, mt.Period, mt.Latency, mt.Energy)
@@ -309,6 +310,7 @@ func planEquivalence(sc *gen.Scenario) (int, error) {
 			switch {
 			case (gerr == nil) != (want[i].err == nil),
 				gerr != nil && gerr.Error() != want[i].err.Error():
+				//lint:allow errclass diagnostic compares two error texts and either may be nil, which %w cannot format
 				return queries, fmt.Errorf("pass %d query %v: plan error %v, one-shot error %v",
 					pass, q.Objective, gerr, want[i].err)
 			case !reflect.DeepEqual(got, want[i].res):
@@ -395,6 +397,7 @@ type Summary struct {
 // ComboNames returns the observed combination labels, sorted.
 func (s *Summary) ComboNames() []string {
 	names := make([]string, 0, len(s.Combos))
+	//lint:allow determinism keys are sorted immediately after collection
 	for k := range s.Combos {
 		names = append(names, k)
 	}

@@ -30,6 +30,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/fmath"
 	"repro/internal/pipeline"
 )
 
@@ -190,6 +191,7 @@ func ExactMinPeriod(inst *pipeline.Instance, limit int64) (Mapping, float64, err
 	left := limit
 	var rec func(i int, cur float64) error
 	rec = func(i int, cur float64) error {
+		//lint:allow floatcmp exact dominance pruning; a tolerant GE could prune a strictly better branch
 		if cur >= best {
 			return nil // dominated
 		}
@@ -205,6 +207,7 @@ func ExactMinPeriod(inst *pipeline.Instance, limit int64) (Mapping, float64, err
 		seenEmpty := false // identical empty processors are symmetric
 		for u := 0; u < p; u++ {
 			if load[u] == 0 {
+				//lint:allow floatcmp symmetry breaking requires bit-identical input speeds, not computed values
 				if seenEmpty && speeds[u] == speeds[0] && inst.Platform.HomogeneousProcessors() {
 					continue
 				}
@@ -234,7 +237,7 @@ func ExactMinPeriod(inst *pipeline.Instance, limit int64) (Mapping, float64, err
 		}
 		for u := 0; u < p; u++ {
 			cur[u] += stages[i].work
-			ok := cur[u]/speeds[u] <= best+1e-12
+			ok := fmath.LE(cur[u]/speeds[u], best)
 			if ok {
 				asg[i] = u
 				if rebuild(i + 1) {

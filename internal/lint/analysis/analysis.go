@@ -1,0 +1,199 @@
+// Package analysis is a self-contained, offline stand-in for the
+// golang.org/x/tools/go/analysis framework: it defines the Analyzer/Pass
+// contract the pipelint suite (internal/lint) is written against and a
+// driver that runs analyzers over type-checked packages.
+//
+// The module is intentionally dependency-free (go.mod lists nothing), so
+// the real x/tools framework cannot be vendored; this package mirrors its
+// shape — an Analyzer has a Name, a Doc and a Run(*Pass) function, a Pass
+// carries the FileSet, syntax trees and full go/types information for one
+// package — narrowed to what the suite needs. Should the module ever grow
+// an x/tools dependency, the analyzers port mechanically: only the import
+// path and the loader change.
+//
+// Suppressions. A finding is silenced by a line directive
+//
+//	//lint:allow <analyzer> <justification>
+//
+// placed at the end of the offending line or alone on the line directly
+// above it. The justification is mandatory: a bare //lint:allow directive
+// is itself reported as a finding, so every suppression in the tree
+// documents why the invariant does not apply at that site.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (used in diagnostics and
+// //lint:allow directives), a documentation string stating the invariant it
+// guards, and the Run function applied to each package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics: suppressed findings are dropped, malformed suppression
+// directives are themselves reported (under analyzer name "lint"), and the
+// result is sorted by position for stable output.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	var out []Diagnostic
+	byFile := make(map[string]*fileSuppressions)
+	for _, pkg := range pkgs {
+		malformed := collectSuppressions(pkg.Fset, pkg.Files, byFile)
+		out = append(out, malformed...)
+	}
+	for _, d := range raw {
+		if s := byFile[d.Position.Filename]; s != nil && s.allows(d.Analyzer, d.Position.Line) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// fileSuppressions indexes the //lint:allow directives of one file.
+type fileSuppressions struct {
+	lines map[int][]string // line -> analyzer names allowed on that line
+}
+
+func (s *fileSuppressions) allows(name string, line int) bool {
+	for _, n := range s.lines[line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+var directiveRE = regexp.MustCompile(`^//lint:allow\s+([a-zA-Z0-9_-]+)\s*(.*)$`)
+
+// collectSuppressions scans file comments for //lint:allow directives,
+// filling byFile (keyed by filename) and returning diagnostics for
+// malformed directives. A directive at line L covers findings on L and on
+// L+1, so it works both as a trailing comment on the offending line and as
+// a standalone comment directly above it.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, byFile map[string]*fileSuppressions) []Diagnostic {
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      c.Pos(),
+						Position: pos,
+						Message:  "malformed //lint:allow directive: want //lint:allow <analyzer> <justification>",
+					})
+					continue
+				}
+				s := byFile[pos.Filename]
+				if s == nil {
+					s = &fileSuppressions{lines: map[int][]string{}}
+					byFile[pos.Filename] = s
+				}
+				s.lines[pos.Line] = append(s.lines[pos.Line], m[1])
+				s.lines[pos.Line+1] = append(s.lines[pos.Line+1], m[1])
+			}
+		}
+	}
+	return malformed
+}
+
+// WalkStack traverses every file like ast.Inspect but hands the visitor
+// the full ancestor stack (stack[len(stack)-1] is n's parent). Analyzers
+// use it to inspect the context a node appears in — e.g. whether a
+// selector is an argument of a clone call or the target of an assignment.
+// Returning false skips n's children.
+func WalkStack(files []*ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !visit(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

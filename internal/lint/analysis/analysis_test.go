@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/floatcmp"
+)
+
+// TestSuppressionSemantics drives the driver itself through the
+// lintdirective fixture: justified directives (standalone-above and
+// trailing) silence findings, malformed directives are reported and
+// silence nothing, and directives naming a different analyzer do not
+// apply.
+func TestSuppressionSemantics(t *testing.T) {
+	pkg, err := analysis.LoadDir("../../..", "../testdata/src/lintdirective")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{floatcmp.Analyzer})
+	if err != nil {
+		t.Fatalf("running floatcmp: %v", err)
+	}
+	type finding struct {
+		analyzer string
+		line     int
+	}
+	var got []finding
+	for _, d := range diags {
+		got = append(got, finding{d.Analyzer, d.Position.Line})
+		switch d.Analyzer {
+		case "lint":
+			if !strings.Contains(d.Message, "malformed //lint:allow") {
+				t.Errorf("lint diagnostic with unexpected message: %s", d)
+			}
+		case "floatcmp":
+		default:
+			t.Errorf("unexpected analyzer in %s", d)
+		}
+	}
+	// Line 6: the malformed directive itself. Line 7: the comparison it
+	// failed to suppress. Lines 12 and 16 are suppressed. Line 20: plain
+	// unsuppressed finding. Line 25: the directive above names
+	// determinism, so floatcmp still fires.
+	want := []finding{
+		{"lint", 6},
+		{"floatcmp", 7},
+		{"floatcmp", 20},
+		{"floatcmp", 25},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %v, want %d %v\n%v", len(got), got, len(want), want, diags)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Load parses and type-checks the packages matched by patterns (relative
+// to moduleDir, e.g. "./..."), returning them ready for analysis. Only
+// non-test Go files are loaded: the analyzers guard production invariants,
+// and tests legitimately compare floats bit-for-bit or poke cache
+// internals.
+//
+// The loader works fully offline. It shells out once to
+// `go list -deps -export` to compile the dependency graph and collect gc
+// export data, then type-checks each matched package from source with an
+// importer that reads that export data — the same split the x/tools
+// go/packages loader performs, without the dependency.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	ex, targets, err := listPackages(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, moduleDir, ex)
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory outside the module's
+// package graph — the analyzers' golden-test fixtures under testdata/,
+// which the go tool deliberately ignores. The package is checked under an
+// import path equal to the directory's base name; imports are resolved
+// against moduleDir's dependency graph, so fixtures may import the
+// standard library (and module packages) freely.
+func LoadDir(moduleDir, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+	ex, _, err := listPackages(moduleDir, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, moduleDir, ex)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return checkPackage(fset, imp, filepath.Base(abs), dir, goFiles)
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", gf, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// exportSet maps import paths to gc export data files.
+type exportSet struct {
+	mu        sync.Mutex
+	moduleDir string
+	files     map[string]string
+}
+
+// listCache memoizes the (expensive) go list invocation per module
+// directory: the test binary loads the repo once for the suite smoke test
+// and once per golden-test fixture otherwise.
+var listCache sync.Map // abs moduleDir+"\x00"+patterns -> *listResult
+
+type listResult struct {
+	once    sync.Once
+	ex      *exportSet
+	targets []listedPackage
+	err     error
+}
+
+func listPackages(moduleDir string, patterns []string) (*exportSet, []listedPackage, error) {
+	absDir, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := absDir + "\x00" + strings.Join(patterns, "\x00")
+	v, _ := listCache.LoadOrStore(key, &listResult{})
+	r := v.(*listResult)
+	r.once.Do(func() {
+		r.ex, r.targets, r.err = runGoList(absDir, patterns)
+	})
+	return r.ex, r.targets, r.err
+}
+
+func runGoList(moduleDir string, patterns []string) (*exportSet, []listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	ex := &exportSet{moduleDir: moduleDir, files: map[string]string{}}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		if p.Export != "" {
+			ex.files[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return ex, targets, nil
+}
+
+// lookup resolves an import path to its export data, falling back to a
+// one-off `go list -export` for paths outside the preloaded graph (e.g. a
+// standard-library package only a testdata fixture imports).
+func (ex *exportSet) lookup(path string) (io.ReadCloser, error) {
+	ex.mu.Lock()
+	f, ok := ex.files[path]
+	ex.mu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", path)
+		cmd.Dir = ex.moduleDir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("lint: no export data for %q: %w", path, err)
+		}
+		f = strings.TrimSpace(string(out))
+		if f == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		ex.mu.Lock()
+		ex.files[path] = f
+		ex.mu.Unlock()
+	}
+	return os.Open(f)
+}
+
+func newExportImporter(fset *token.FileSet, moduleDir string, ex *exportSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", ex.lookup)
+}

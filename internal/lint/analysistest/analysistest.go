@@ -1,0 +1,135 @@
+// Package analysistest runs one analyzer over a golden-test fixture
+// directory and compares its findings against `// want "regexp"` comments,
+// mirroring the golang.org/x/tools/go/analysis/analysistest contract the
+// pipelint suite would use if the module carried the x/tools dependency.
+//
+// A fixture is a plain directory of Go files under
+// internal/lint/testdata/src/<analyzer>/ — the go tool ignores testdata
+// directories, so fixtures may violate the invariants freely without
+// breaking the build. Every line expected to trigger the analyzer carries
+// a trailing comment of the form
+//
+//	bad() // want "regexp matching the diagnostic"
+//
+// (several quoted regexps may follow one want). The harness fails the test
+// on any unmatched expectation and on any unexpected diagnostic, so each
+// golden file proves both that the analyzer fires where it must and stays
+// quiet where it must not — including on sites silenced by a
+// //lint:allow directive, which the driver filters before comparison.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run loads the fixture directory dir (resolving imports against the
+// module at moduleDir), applies analyzer a, and reports any mismatch
+// between the diagnostics and the fixture's want comments as test errors.
+func Run(t *testing.T, moduleDir, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(moduleDir, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants extracts the `// want "re" ["re" ...]` expectations of the
+// fixture's comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				n := 0
+				for rest != "" {
+					if rest[0] != '"' {
+						t.Fatalf("%s:%d: malformed want: %q", pos.Filename, pos.Line, c.Text)
+					}
+					q, err := quotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					n++
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+				if n == 0 {
+					t.Fatalf("%s:%d: want comment with no patterns: %q", pos.Filename, pos.Line, c.Text)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// quotedPrefix returns the leading Go double-quoted string literal of s.
+func quotedPrefix(s string) (string, error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated string literal")
+}

@@ -1,0 +1,145 @@
+// Package ctxflow flags contexts that stop flowing: a function (or worker
+// body) that accepts a context.Context and then never consults it cannot
+// be cancelled, which is how PR 2/4 ended up retrofitting SolveBatchCtx
+// and the Table*Ctx variants after entry points dropped their contexts on
+// the floor.
+//
+// Two checks:
+//
+//  1. A named context.Context parameter the function body never uses. The
+//     context must reach the solver (ultimately core.SolvePrepared), gate a
+//     select, or be passed on; a parameter kept only for interface shape is
+//     declared dead by renaming it to _.
+//  2. A call to context.Background or context.TODO inside a function that
+//     already has a context parameter in scope: minting a fresh root
+//     context severs the caller's cancellation and deadline, silently
+//     detaching whatever runs below it.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Context parameters that are dropped and fresh root contexts minted while a caller's context is in scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Whole-module scope: a dropped context is a bug wherever it occurs.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftyp *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftyp, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftyp, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			for _, param := range ctxParams(pass, ftyp) {
+				obj := pass.TypesInfo.Defs[param]
+				if obj == nil {
+					continue
+				}
+				if !usesObject(pass, body, obj) {
+					pass.Reportf(param.Pos(),
+						"context parameter %s is dropped: the body never uses it, so this call tree cannot be cancelled; thread it toward core.SolvePrepared or rename it to _", param.Name)
+				}
+				checkFreshRoots(pass, body, param.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxParams returns the named, non-blank context.Context parameters of a
+// function type.
+func ctxParams(pass *analysis.Pass, ftyp *ast.FuncType) []*ast.Ident {
+	var out []*ast.Ident
+	if ftyp.Params == nil {
+		return nil
+	}
+	for _, field := range ftyp.Params.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if t == nil || !isContext(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usesObject reports whether any identifier in body resolves to obj —
+// including uses inside nested function literals, which legitimately
+// capture an enclosing context.
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFreshRoots flags context.Background()/context.TODO() calls in body.
+// Nested function literals with their own context parameter are skipped:
+// their parameter is the context in scope there, and they are visited on
+// their own.
+func checkFreshRoots(pass *analysis.Pass, body *ast.BlockStmt, ctxName string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && len(ctxParams(pass, lit.Type)) > 0 {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || pkg.Imported().Path() != "context" {
+			return true
+		}
+		if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+			pass.Reportf(call.Pos(),
+				"context.%s() minted while %s is in scope: a fresh root context severs the caller's cancellation and deadline; derive from %s instead", sel.Sel.Name, ctxName, ctxName)
+		}
+		return true
+	})
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctxflow"
+)
+
+// TestGolden drives the analyzer through its fixture package under
+// internal/lint/testdata/src/ctxflow: every line marked with a want
+// comment must fire, every unmarked line must stay quiet.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "../../..", "../testdata/src/ctxflow", ctxflow.Analyzer)
+}

@@ -1,0 +1,15 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errclass"
+)
+
+// TestGolden drives the analyzer through its fixture package under
+// internal/lint/testdata/src/errclass: every line marked with a want
+// comment must fire, every unmarked line must stay quiet.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "../../..", "../testdata/src/errclass", errclass.Analyzer)
+}

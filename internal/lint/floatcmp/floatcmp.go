@@ -1,0 +1,99 @@
+// Package floatcmp flags tolerance-unsafe comparisons between computed
+// floating-point values. The solvers binary-search exact candidate sets
+// and re-derive criterion values along different arithmetic paths, so two
+// mathematically equal float64s routinely differ in the last ulps;
+// internal/fmath owns the tolerant comparators (EQ/LE/GE and the strict
+// LT/GT) every feasibility and equality decision must go through.
+//
+// The pass flags ==, !=, <= and >= between two computed (non-constant)
+// float operands. Strict < and > are deliberately exempt: argmin/argmax
+// accumulation ("if v < best") is exact by construction and pervasive;
+// the corruption happens at equality boundaries — bound checks, candidate
+// dedup, convergence tests — where round-off flips the verdict.
+// Comparisons against constants (x > 0 presence checks, sentinel values)
+// are likewise exempt. internal/fmath itself is out of scope: it is the
+// one place allowed to spell raw comparisons.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the floatcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!=/<=/>= between computed floats outside internal/fmath; use fmath.EQ/LE/GE",
+	Run:  run,
+}
+
+// inScope covers the library packages except fmath (which implements the
+// tolerant comparisons); fixtures (no repro/ prefix) are always in scope.
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "repro") {
+		return true
+	}
+	if path == "repro/internal/fmath" {
+		return false
+	}
+	return path == "repro" || strings.HasPrefix(path, "repro/internal/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ, token.LEQ, token.GEQ:
+			default:
+				return true
+			}
+			xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			if !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			// A constant operand means a sentinel/presence check (x == 0,
+			// w != 1), which is exact by convention, not computation.
+			if xt.Value != nil || yt.Value != nil {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"raw float comparison %s between computed values is not round-off tolerant; use fmath.%s (or //lint:allow floatcmp <why exactness is intended>)",
+				be.Op, fmathName(be.Op))
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func fmathName(op token.Token) string {
+	switch op {
+	case token.EQL:
+		return "EQ"
+	case token.NEQ:
+		return "!EQ"
+	case token.LEQ:
+		return "LE"
+	case token.GEQ:
+		return "GE"
+	}
+	return "EQ"
+}

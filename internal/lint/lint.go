@@ -1,0 +1,21 @@
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/errclass"
+	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/memoalias"
+)
+
+// Analyzers returns the full pipelint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		errclass.Analyzer,
+		floatcmp.Analyzer,
+		memoalias.Analyzer,
+	}
+}

@@ -1,0 +1,45 @@
+// Fixture for the ctxflow analyzer: context parameters must flow, and no
+// fresh root context may be minted while a caller's context is in scope.
+package ctxflow
+
+import "context"
+
+func dropped(ctx context.Context, n int) int { // want "context parameter ctx is dropped"
+	return n + 1
+}
+
+func threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+func blankOK(_ context.Context, n int) int {
+	return n
+}
+
+func freshRoot(ctx context.Context) error {
+	_ = ctx
+	return work(context.Background()) // want "context.Background\\(\\) minted while ctx is in scope"
+}
+
+func freshTODO(ctx context.Context) error {
+	_ = ctx
+	return work(context.TODO()) // want "context.TODO\\(\\) minted while ctx is in scope"
+}
+
+func rootAtTopOK() error {
+	return work(context.Background())
+}
+
+func workers(ctx context.Context) {
+	go func(ctx context.Context) { // want "context parameter ctx is dropped"
+		println("worker ignoring its context")
+	}(ctx)
+	go func() {
+		<-ctx.Done() // capturing the enclosing context counts as use
+	}()
+}

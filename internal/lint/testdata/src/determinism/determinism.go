@@ -1,0 +1,52 @@
+// Fixture for the determinism analyzer: no map-order, wall-clock or
+// process-global randomness in deterministic solver packages.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapOrder(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "map iteration order"
+		total += v
+	}
+	return total
+}
+
+func sortedKeysAllowed(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	//lint:allow determinism keys are sorted immediately after collection
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "process-global random source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global random source"
+}
+
+func seededOK(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func sliceOK(xs []float64) float64 {
+	t := 0.0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

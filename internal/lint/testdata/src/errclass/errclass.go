@@ -1,0 +1,58 @@
+// Fixture for the errclass analyzer: sentinel errors are probed with
+// errors.Is, and fmt.Errorf must wrap (not flatten) its error causes.
+package errclass
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrNotFound = errors.New("not found")
+
+func direct(err error) bool {
+	return err == ErrNotFound // want "direct comparison to sentinel ErrNotFound"
+}
+
+func directNeq(err error) bool {
+	return ErrNotFound != err // want "direct comparison to sentinel ErrNotFound"
+}
+
+func viaIsOK(err error) bool {
+	return errors.Is(err, ErrNotFound)
+}
+
+func nilOK(err error) bool {
+	return err == nil
+}
+
+func eofOK(err error) bool {
+	return err == io.EOF
+}
+
+func switchCase(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrNotFound: // want "switch case compares directly to sentinel ErrNotFound"
+		return 1
+	}
+	return 2
+}
+
+func flatten(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want "without %w"
+}
+
+func wrappedOK(err error) error {
+	return fmt.Errorf("solve failed: %w", err)
+}
+
+func noErrArgsOK(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+func allowFlatten(err error) error {
+	//lint:allow errclass fixture: this boundary intentionally erases the cause
+	return fmt.Errorf("opaque: %v", err)
+}

@@ -1,0 +1,41 @@
+// Fixture for the floatcmp analyzer: equality-adjacent comparisons between
+// computed floats must go through fmath; strict < / > and comparisons
+// against constants are exempt.
+package floatcmp
+
+func eq(a, b float64) bool {
+	return a == b // want "raw float comparison =="
+}
+
+func neq(a, b float64) bool {
+	return a != b // want "raw float comparison !="
+}
+
+func le(a, b float64) bool {
+	return a <= b // want "raw float comparison <="
+}
+
+func ge(a, b float64) bool {
+	return a >= b // want "raw float comparison >="
+}
+
+func derived(xs []float64) bool {
+	return xs[0]/xs[1] >= xs[2]*2 // want "raw float comparison >="
+}
+
+func strictOK(a, b float64) bool {
+	return a < b || a > b
+}
+
+func constOK(a float64) bool {
+	return a == 0 || a >= 1.5
+}
+
+func intOK(a, b int) bool {
+	return a == b && a <= b
+}
+
+func allowExact(a, b float64) bool {
+	//lint:allow floatcmp fixture: bit-identity intended here
+	return a == b
+}

@@ -1,0 +1,26 @@
+// Fixture for the driver's suppression handling: a well-formed directive
+// silences its line and the next; a directive without a justification is
+// itself a finding and suppresses nothing.
+package lintdirective
+
+func malformed(a, b float64) bool { //lint:allow floatcmp
+	return a == b
+}
+
+func justified(a, b float64) bool {
+	//lint:allow floatcmp fixture: exactness intended
+	return a == b
+}
+
+func trailing(a, b float64) bool {
+	return a == b //lint:allow floatcmp fixture: exactness intended
+}
+
+func unsuppressed(a, b float64) bool {
+	return a == b
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	//lint:allow determinism fixture: names a different analyzer
+	return a == b
+}

@@ -50,6 +50,7 @@ func Filter(points []Point) []Point {
 	// Sort by period then energy (insertion sort: frontiers are small).
 	for i := 1; i < len(sorted); i++ {
 		for j := i; j > 0 && (sorted[j].Period < sorted[j-1].Period ||
+			//lint:allow floatcmp sort comparator needs an exact total order (tolerant EQ is not transitive)
 			(sorted[j].Period == sorted[j-1].Period && sorted[j].Energy < sorted[j-1].Energy)); j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}

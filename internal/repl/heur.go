@@ -74,6 +74,7 @@ func Minimize(rng *rand.Rand, inst *pipeline.Instance, obj Objective, opt HeurOp
 			accept := false
 			switch {
 			case math.IsInf(v, 1):
+			//lint:allow floatcmp annealing acceptance is heuristic; tolerance would only perturb accept probability
 			case v <= curV:
 				accept = true
 			case !math.IsInf(curV, 1):

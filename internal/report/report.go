@@ -123,6 +123,7 @@ func Fmt(x float64) string {
 		return "-inf"
 	case math.IsNaN(x):
 		return "nan"
+	//lint:allow floatcmp integrality test for formatting; tolerance would print 0.99999999 as 1
 	case x == math.Trunc(x) && math.Abs(x) < 1e15:
 		return fmt.Sprintf("%.0f", x)
 	default:

@@ -129,6 +129,7 @@ func (tr Trace) CheckConsistency() error {
 			byRes[r] = append(byRes[r], op)
 		}
 	}
+	//lint:allow determinism verdict is order-independent; only which violation reports first can vary
 	for res, ops := range byRes {
 		sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
 		for i := 1; i < len(ops); i++ {
@@ -148,6 +149,7 @@ func (tr Trace) CheckConsistency() error {
 			maxDS = op.Dataset
 		}
 	}
+	//lint:allow determinism verdict is order-independent; only which violation reports first can vary
 	for ds, ops := range byDS {
 		sort.Slice(ops, func(i, j int) bool {
 			if ops[i].Node != ops[j].Node {
