@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet lint vuln race bench bench-corpus diff fuzz-smoke experiments serve clean
+.PHONY: all build test check fmt vet lint vuln race bench bench-corpus bench-diff diff fuzz-smoke experiments serve clean
 
 all: check
 
@@ -57,6 +57,13 @@ bench:
 # the seeded corpus; 100 iterations keep the plan-speedup ratios stable).
 bench-corpus:
 	$(GO) test -bench=Corpus -benchtime=100x -run=^$$ .
+
+# bench-diff is the performance regression gate: it times a fresh run of
+# the corpus variants (same seeded workload as bench-corpus) and fails if
+# any variant's ns/op exceeds 2x its committed BENCH_solver.json value.
+# CI runs it before regenerating the baseline artifact.
+bench-diff:
+	$(GO) run ./cmd/pipebench -exp benchdiff
 
 # diff runs the differential verification corpus (dispatcher vs brute
 # force vs simulator; see EXPERIMENTS.md section DIFF).

@@ -12,6 +12,8 @@
 //	pipebench -seed 7             # reseed the randomized validations
 //	pipebench -exp diff -instances 1080
 //	                              # differential verification corpus size
+//	pipebench -exp benchdiff      # fresh corpus timing vs BENCH_solver.json,
+//	                              # fail on >2x regression of any variant
 //
 // pipebench exits non-zero if any paper claim failed to reproduce.
 package main
@@ -34,10 +36,12 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all | fig1 | table1 | table2 | sim | pareto | npc | extensions | scaling | diff")
+	exp := fs.String("exp", "all", "experiment: all | fig1 | table1 | table2 | sim | pareto | npc | extensions | scaling | diff | benchdiff")
 	seed := fs.Int64("seed", 1, "seed for the randomized validations")
 	trials := fs.Int("trials", 60, "trials for the simulator validation")
 	instances := fs.Int("instances", 0, "scenarios for the differential check (0 = six combination windows)")
+	benchFile := fs.String("bench-file", "BENCH_solver.json", "committed baseline for -exp benchdiff")
+	benchFactor := fs.Float64("bench-factor", 2.0, "per-variant ns/op regression tolerance for -exp benchdiff")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +66,8 @@ func run(args []string, stdout io.Writer) error {
 		return experiments.Scaling(stdout, *seed)
 	case "diff":
 		return experiments.Diff(stdout, *seed, *instances)
+	case "benchdiff":
+		return experiments.BenchDiff(stdout, *benchFile, *benchFactor)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

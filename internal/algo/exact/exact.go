@@ -1,14 +1,21 @@
-// Package exact provides exhaustive solvers over one-to-one and interval
+// Package exact provides exact solvers over one-to-one and interval
 // mappings. They are exponential — exactly what the paper's NP-completeness
 // results predict for the hard problem variants — and double as the
 // optimality oracle against which every polynomial algorithm and heuristic
 // in this repository is tested.
+//
+// Two engines coexist: Enumerate is the blind visitor-pattern walk over the
+// complete mapping space (the reference semantics — CountMappings and the
+// differential oracle are defined against it), while Minimize is a
+// branch-and-bound search that reaches the same optima bit for bit through
+// incremental evaluation, bound pruning and symmetry breaking (see bnb.go).
+// The Min* entry points run on Minimize; Options.NoPrune turns the cuts off
+// so the two engines can be compared directly.
 package exact
 
 import (
 	"errors"
-	"fmt"
-	"math"
+	"sync"
 
 	"repro/internal/fmath"
 	"repro/internal/mapping"
@@ -44,6 +51,12 @@ type Options struct {
 	// Limit bounds the number of complete mappings visited; 0 means the
 	// default of 20 million.
 	Limit int64
+	// NoPrune makes Minimize visit the entire mapping space like Enumerate
+	// does — no bound pruning, no symmetry breaking. This is the reference
+	// path the differential harness compares the branch-and-bound search
+	// against; it has no effect on Enumerate or CountMappings, which never
+	// prune.
+	NoPrune bool
 }
 
 func (o Options) limit() int64 {
@@ -57,24 +70,32 @@ func (o Options) limit() int64 {
 // *mapping.Mapping passed to visit is reused across calls; visit must clone
 // it if it escapes. Returns ErrSearchSpace when the limit is hit.
 func Enumerate(inst *pipeline.Instance, opt Options, visit func(m *mapping.Mapping)) error {
-	e := &enumerator{
-		inst:  inst,
-		opt:   opt,
-		used:  make([]bool, inst.Platform.NumProcessors()),
-		m:     mapping.Mapping{Apps: make([]mapping.AppMapping, len(inst.Apps))},
-		visit: visit,
-		left:  opt.limit(),
+	e := enumPool.Get().(*enumerator)
+	p := inst.Platform.NumProcessors()
+	e.inst, e.opt, e.visit = inst, opt, visit
+	e.used = resizeBools(e.used, p)
+	for u := range e.used {
+		e.used[u] = false
 	}
-	if err := e.app(0); err != nil {
-		return err
+	e.free = p
+	e.m.Apps = resizeAppMappings(e.m.Apps, len(inst.Apps))
+	for a := range e.m.Apps {
+		e.m.Apps[a].Intervals = e.m.Apps[a].Intervals[:0]
 	}
-	return nil
+	e.left = opt.limit()
+	err := e.app(0)
+	e.inst, e.visit = nil, nil // do not retain while pooled
+	enumPool.Put(e)
+	return err
 }
+
+var enumPool = sync.Pool{New: func() any { return new(enumerator) }}
 
 type enumerator struct {
 	inst  *pipeline.Instance
 	opt   Options
 	used  []bool
+	free  int // count of false entries in used, maintained incrementally
 	m     mapping.Mapping
 	visit func(m *mapping.Mapping)
 	left  int64
@@ -99,21 +120,10 @@ func (e *enumerator) intervals(a, from int) error {
 	app := &e.inst.Apps[a]
 	n := app.NumStages()
 	if from == n {
-		err := e.app(a + 1)
-		return err
+		return e.app(a + 1)
 	}
 	// Remaining applications each need at least one processor.
-	remainingApps := 0
-	for b := a + 1; b < len(e.inst.Apps); b++ {
-		remainingApps++
-	}
-	free := 0
-	for _, u := range e.used {
-		if !u {
-			free++
-		}
-	}
-	if free <= remainingApps {
+	if e.free <= len(e.inst.Apps)-a-1 {
 		return nil // no processor available for this interval
 	}
 	hi := n - 1
@@ -126,6 +136,7 @@ func (e *enumerator) intervals(a, from int) error {
 				continue
 			}
 			e.used[u] = true
+			e.free--
 			modes := e.inst.Platform.Processors[u].NumModes()
 			lo := 0
 			if e.opt.Modes == FastestOnly {
@@ -141,129 +152,75 @@ func (e *enumerator) intervals(a, from int) error {
 				e.m.Apps[a].Intervals = e.m.Apps[a].Intervals[:len(e.m.Apps[a].Intervals)-1]
 			}
 			e.used[u] = false
+			e.free++
 		}
 	}
 	return nil
 }
 
-// Solution is an optimal mapping found by an exact solver, with its value.
+// Solution is an optimal mapping found by an exact solver, with its value
+// and the search-effort counters of the run that produced it.
 type Solution struct {
 	Mapping mapping.Mapping
 	Value   float64
-}
-
-// minimize runs the enumeration keeping the mapping minimizing objective
-// among those satisfying feasible (nil means all).
-func minimize(inst *pipeline.Instance, opt Options, feasible func(m *mapping.Mapping) bool, objective func(m *mapping.Mapping) float64) (Solution, error) {
-	best := Solution{Value: math.Inf(1)}
-	found := false
-	err := Enumerate(inst, opt, func(m *mapping.Mapping) {
-		if feasible != nil && !feasible(m) {
-			return
-		}
-		v := objective(m)
-		if !found || v < best.Value {
-			best = Solution{Mapping: m.Clone(), Value: v}
-			found = true
-		}
-	})
-	if err != nil {
-		return Solution{}, err
-	}
-	if !found {
-		return Solution{}, ErrInfeasible
-	}
-	return best, nil
+	Stats   SearchStats
 }
 
 // MinPeriod returns the mapping minimizing the weighted global period.
 func MinPeriod(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel) (Solution, error) {
-	return minimize(inst, Options{Rule: rule, Modes: FastestOnly}, nil, func(m *mapping.Mapping) float64 {
-		return mapping.Period(inst, m, model)
-	})
+	return Minimize(inst, Options{Rule: rule, Modes: FastestOnly},
+		Spec{Objective: ObjPeriod, Model: model})
 }
 
 // MinLatency returns the mapping minimizing the weighted global latency.
 func MinLatency(inst *pipeline.Instance, rule mapping.Rule) (Solution, error) {
-	return minimize(inst, Options{Rule: rule, Modes: FastestOnly}, nil, func(m *mapping.Mapping) float64 {
-		return mapping.Latency(inst, m)
-	})
+	return Minimize(inst, Options{Rule: rule, Modes: FastestOnly},
+		Spec{Objective: ObjLatency, Model: pipeline.Overlap})
 }
 
 // MinLatencyGivenPeriod minimizes the weighted global latency subject to
 // per-application period bounds (unweighted T_a <= periodBounds[a]).
 func MinLatencyGivenPeriod(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, periodBounds []float64) (Solution, error) {
-	return minimize(inst, Options{Rule: rule, Modes: FastestOnly},
-		periodFeasible(inst, model, periodBounds),
-		func(m *mapping.Mapping) float64 { return mapping.Latency(inst, m) })
+	return Minimize(inst, Options{Rule: rule, Modes: FastestOnly},
+		Spec{Objective: ObjLatency, Model: model, PeriodBounds: periodBounds})
 }
 
 // MinPeriodGivenLatency minimizes the weighted global period subject to
 // per-application latency bounds.
 func MinPeriodGivenLatency(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, latencyBounds []float64) (Solution, error) {
-	return minimize(inst, Options{Rule: rule, Modes: FastestOnly},
-		latencyFeasible(inst, latencyBounds),
-		func(m *mapping.Mapping) float64 { return mapping.Period(inst, m, model) })
+	return Minimize(inst, Options{Rule: rule, Modes: FastestOnly},
+		Spec{Objective: ObjPeriod, Model: model, LatencyBounds: latencyBounds})
 }
 
 // MinEnergyGivenPeriod minimizes the total energy subject to per-application
 // period bounds. All modes are enumerated.
 func MinEnergyGivenPeriod(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, periodBounds []float64) (Solution, error) {
-	return minimize(inst, Options{Rule: rule, Modes: AllModes},
-		periodFeasible(inst, model, periodBounds),
-		func(m *mapping.Mapping) float64 { return mapping.Energy(inst, m) })
+	return Minimize(inst, Options{Rule: rule, Modes: AllModes},
+		Spec{Objective: ObjEnergy, Model: model, PeriodBounds: periodBounds})
 }
 
 // MinEnergy minimizes the total energy with no performance constraint at
 // all (every application still has to be mapped). This is the "minimum
 // energy to run both applications" computation of Section 2.
 func MinEnergy(inst *pipeline.Instance, rule mapping.Rule) (Solution, error) {
-	return minimize(inst, Options{Rule: rule, Modes: AllModes}, nil,
-		func(m *mapping.Mapping) float64 { return mapping.Energy(inst, m) })
+	return Minimize(inst, Options{Rule: rule, Modes: AllModes},
+		Spec{Objective: ObjEnergy, Model: pipeline.Overlap})
 }
 
 // MinEnergyGivenPeriodLatency is the exact tri-criteria solver: minimize
 // total energy subject to per-application period and latency bounds
 // (Theorems 26-27's NP-hard problem).
 func MinEnergyGivenPeriodLatency(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, periodBounds, latencyBounds []float64) (Solution, error) {
-	pf := periodFeasible(inst, model, periodBounds)
-	lf := latencyFeasible(inst, latencyBounds)
-	return minimize(inst, Options{Rule: rule, Modes: AllModes},
-		func(m *mapping.Mapping) bool { return pf(m) && lf(m) },
-		func(m *mapping.Mapping) float64 { return mapping.Energy(inst, m) })
+	return Minimize(inst, Options{Rule: rule, Modes: AllModes},
+		Spec{Objective: ObjEnergy, Model: model, PeriodBounds: periodBounds, LatencyBounds: latencyBounds})
 }
 
 // MinPeriodGivenLatencyEnergy minimizes the weighted global period subject
-// to per-application latency bounds and a global energy budget.
+// to per-application latency bounds and a global energy budget (which must
+// be positive to constrain).
 func MinPeriodGivenLatencyEnergy(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel, latencyBounds []float64, energyBudget float64) (Solution, error) {
-	lf := latencyFeasible(inst, latencyBounds)
-	return minimize(inst, Options{Rule: rule, Modes: AllModes},
-		func(m *mapping.Mapping) bool {
-			return lf(m) && fmath.LE(mapping.Energy(inst, m), energyBudget)
-		},
-		func(m *mapping.Mapping) float64 { return mapping.Period(inst, m, model) })
-}
-
-func periodFeasible(inst *pipeline.Instance, model pipeline.CommModel, bounds []float64) func(m *mapping.Mapping) bool {
-	return func(m *mapping.Mapping) bool {
-		for a := range m.Apps {
-			if !fmath.LE(mapping.AppPeriod(inst, m, a, model), bounds[a]) {
-				return false
-			}
-		}
-		return true
-	}
-}
-
-func latencyFeasible(inst *pipeline.Instance, bounds []float64) func(m *mapping.Mapping) bool {
-	return func(m *mapping.Mapping) bool {
-		for a := range m.Apps {
-			if !fmath.LE(mapping.AppLatency(inst, m, a), bounds[a]) {
-				return false
-			}
-		}
-		return true
-	}
+	return Minimize(inst, Options{Rule: rule, Modes: AllModes},
+		Spec{Objective: ObjPeriod, Model: model, LatencyBounds: latencyBounds, EnergyBudget: energyBudget})
 }
 
 // Point is one (period, latency, energy) value vector with a witness
@@ -288,8 +245,13 @@ func (p Point) Dominates(q Point) bool {
 func ParetoFront(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel) ([]Point, error) {
 	var front []Point
 	err := Enumerate(inst, Options{Rule: rule, Modes: AllModes}, func(m *mapping.Mapping) {
-		mt := mapping.Evaluate(inst, m, model)
-		cand := Point{Period: mt.Period, Latency: mt.Latency, Energy: mt.Energy}
+		// Three scalar evaluations, not mapping.Evaluate: the full metrics
+		// carry per-app slices that would allocate at every leaf.
+		cand := Point{
+			Period:  mapping.Period(inst, m, model),
+			Latency: mapping.Latency(inst, m),
+			Energy:  mapping.Energy(inst, m),
+		}
 		for _, q := range front {
 			if q.Dominates(cand) || (fmath.EQ(q.Period, cand.Period) && fmath.EQ(q.Latency, cand.Latency) && fmath.EQ(q.Energy, cand.Energy)) {
 				return
@@ -329,15 +291,4 @@ func less(a, b Point) bool {
 		return a.Latency < b.Latency
 	}
 	return a.Energy < b.Energy
-}
-
-// CountMappings returns the number of valid mappings of inst under the
-// options; used by the scaling experiments to report search-space growth.
-func CountMappings(inst *pipeline.Instance, opt Options) (int64, error) {
-	var n int64
-	err := Enumerate(inst, opt, func(m *mapping.Mapping) { n++ })
-	if err != nil {
-		return 0, fmt.Errorf("counting mappings: %w", err)
-	}
-	return n, nil
 }

@@ -12,21 +12,19 @@ import (
 	"repro/internal/plan"
 )
 
-// numShards bounds lock contention. Keys are lowercase SHA-256 hex, so the
-// shard index decodes the first two nibbles (256 uniform values, and 256 is
-// a multiple of numShards) rather than using the raw byte, whose 16
-// possible values would reach only half the shards.
+// numShards bounds lock contention. Keys are raw canonical byte encodings
+// (see key.go), which are highly structured — nearby jobs share long
+// prefixes — so the shard index comes from an FNV-1a hash of the whole key
+// rather than from any fixed byte positions.
 const numShards = 32
 
 func shardOf(key string) int {
-	return int(hexNibble(key[0])<<4|hexNibble(key[1])) % numShards
-}
-
-func hexNibble(c byte) byte {
-	if c >= 'a' {
-		return c - 'a' + 10
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211 // FNV-1a prime
 	}
-	return c - '0'
+	return int(h % numShards)
 }
 
 // Cache memoizes solver results by canonical job key. It is safe for

@@ -24,7 +24,8 @@ func solvedResult(v float64) core.Result {
 	}
 }
 
-// hexKey fabricates a well-formed cache key (lowercase hex) from n.
+// hexKey fabricates a distinct cache key from n (keys are arbitrary byte
+// strings; the canonical encoding is opaque to the cache).
 func hexKey(n int) string {
 	return fmt.Sprintf("%064x", n)
 }
@@ -58,8 +59,15 @@ func TestCacheCapNeverExceeded(t *testing.T) {
 // TestCacheLRUOrder checks that touching an entry protects it from
 // eviction ahead of colder entries in the same shard.
 func TestCacheLRUOrder(t *testing.T) {
-	// All keys in one shard: fix the first two nibbles, vary the rest.
-	shardKey := func(n int) string { return "00" + fmt.Sprintf("%062x", n) }
+	// All keys in one shard: search for distinct keys hashing to shard 0.
+	shardKey := func(n int) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("key-%d-%d", n, i)
+			if shardOf(k) == 0 {
+				return k
+			}
+		}
+	}
 	c := NewCacheCap(numShards * 2) // quota of 2 entries per shard
 	compute := func(v float64) func() (core.Result, error) {
 		return func() (core.Result, error) { return solvedResult(v), nil }

@@ -1,32 +1,35 @@
 package batch
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
-	"encoding/hex"
-	"hash"
 	"math"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
 )
 
-// keyWriter streams a canonical binary encoding of a job into a hash. Every
-// field is written with an explicit length or presence tag so that no two
-// distinct (instance, request) pairs share an encoding: floats are written
-// as their IEEE-754 bit patterns (so 0 and -0 differ, and NaN payloads are
-// preserved), slices are length-prefixed, and nil slices are distinguished
-// from empty ones because the nil-ness of Request bounds is semantically
-// meaningful to the solver ("unconstrained" versus "constrained").
+// keyWriter appends a canonical binary encoding of a job to a pooled
+// buffer. Every field is written with an explicit length or presence tag so
+// that no two distinct (instance, request) pairs share an encoding: floats
+// are written as their IEEE-754 bit patterns (so 0 and -0 differ, and NaN
+// payloads are preserved), slices are length-prefixed, and nil slices are
+// distinguished from empty ones because the nil-ness of Request bounds is
+// semantically meaningful to the solver ("unconstrained" versus
+// "constrained"). The encoding itself is the map key — exact by
+// construction, no hashing cost, and the string(buf) conversion is the only
+// allocation per lookup.
 type keyWriter struct {
-	h   hash.Hash
-	buf [8]byte
+	buf []byte
 }
 
+var keyPool = sync.Pool{New: func() any {
+	return &keyWriter{buf: make([]byte, 0, 512)}
+}}
+
 func (k *keyWriter) u64(v uint64) {
-	binary.LittleEndian.PutUint64(k.buf[:], v)
-	k.h.Write(k.buf[:])
+	k.buf = binary.LittleEndian.AppendUint64(k.buf, v)
 }
 
 func (k *keyWriter) i64(v int64)   { k.u64(uint64(v)) }
@@ -34,7 +37,7 @@ func (k *keyWriter) f64(v float64) { k.u64(math.Float64bits(v)) }
 
 func (k *keyWriter) str(s string) {
 	k.u64(uint64(len(s)))
-	k.h.Write([]byte(s))
+	k.buf = append(k.buf, s...)
 }
 
 // floats writes a slice with a presence tag: nil and empty encode
@@ -58,13 +61,22 @@ func (k *keyWriter) matrix(m [][]float64) {
 	}
 }
 
+// done snapshots the encoding into an immutable string key and returns the
+// writer to the pool.
+func (k *keyWriter) done() string {
+	s := string(k.buf)
+	k.buf = k.buf[:0]
+	keyPool.Put(k)
+	return s
+}
+
 // Key returns a stable canonical key identifying a (instance, request)
 // pair: two jobs receive the same key exactly when every field that can
 // influence core.Solve (and the cosmetic names carried into reports) is
-// identical. The key is the hex SHA-256 of the canonical encoding, so it is
-// cheap to store and compare regardless of instance size.
+// identical. The key is the canonical byte encoding itself, so equality is
+// exact by construction.
 func Key(inst *pipeline.Instance, req core.Request) string {
-	k := &keyWriter{h: sha256.New()}
+	k := keyPool.Get().(*keyWriter)
 	k.instance(inst)
 
 	k.i64(int64(req.Rule))
@@ -78,19 +90,19 @@ func Key(inst *pipeline.Instance, req core.Request) string {
 	k.i64(int64(req.HeurIters))
 	k.i64(int64(req.HeurRestarts))
 
-	return hex.EncodeToString(k.h.Sum(nil))
+	return k.done()
 }
 
 // PlanKey returns the canonical key of a compiled plan's inputs: the
 // instance plus the rule and communication model fixed at compile time.
 // Jobs sharing a PlanKey can be answered by one compiled plan (see
-// internal/plan); the key is the hex SHA-256 of the canonical encoding.
+// internal/plan); like Key, it is the canonical byte encoding itself.
 func PlanKey(inst *pipeline.Instance, rule mapping.Rule, model pipeline.CommModel) string {
-	k := &keyWriter{h: sha256.New()}
+	k := keyPool.Get().(*keyWriter)
 	k.instance(inst)
 	k.i64(int64(rule))
 	k.i64(int64(model))
-	return hex.EncodeToString(k.h.Sum(nil))
+	return k.done()
 }
 
 // instance streams the canonical instance encoding: every field that can

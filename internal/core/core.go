@@ -305,16 +305,11 @@ func solveLatency(inst *pipeline.Instance, req Request, cls pipeline.Class) (Res
 			return wrap(inst, req, m, v, MethodUniModalBudget, true, err)
 		}
 		// Exact fallback: minimize latency under period bounds + budget.
-		pf := func(m *mapping.Mapping) bool {
-			for a := range m.Apps {
-				if !fmath.LE(mapping.AppPeriod(inst, m, a, req.Model), per[a]) {
-					return false
-				}
-			}
-			return fmath.LE(mapping.Energy(inst, m), req.EnergyBudget)
-		}
-		return fallbackObj(inst, req, pf, func(m *mapping.Mapping) float64 {
-			return mapping.Latency(inst, m)
+		return fallback(inst, req, func() (exact.Solution, error) {
+			return exact.Minimize(inst,
+				exact.Options{Rule: req.Rule, Modes: exact.AllModes, Limit: req.exactLimit()},
+				exact.Spec{Objective: exact.ObjLatency, Model: req.Model,
+					PeriodBounds: per, EnergyBudget: req.EnergyBudget})
 		})
 	}
 }
@@ -384,35 +379,6 @@ func fallback(inst *pipeline.Instance, req Request, solve func() (exact.Solution
 		}
 		if err == nil {
 			return wrap(inst, req, sol.Mapping, sol.Value, MethodExact, true, nil)
-		}
-		if !errors.Is(err, exact.ErrSearchSpace) {
-			return Result{}, err
-		}
-	}
-	return heuristicSolve(inst, req)
-}
-
-// fallbackObj is fallback for objective/feasibility pairs without a named
-// exact helper.
-func fallbackObj(inst *pipeline.Instance, req Request, feasible func(m *mapping.Mapping) bool, obj func(m *mapping.Mapping) float64) (Result, error) {
-	if withinExactLimit(inst, req) {
-		best := exact.Solution{Value: math.Inf(1)}
-		found := false
-		modes := exact.AllModes
-		err := exact.Enumerate(inst, exact.Options{Rule: req.Rule, Modes: modes, Limit: req.exactLimit()}, func(m *mapping.Mapping) {
-			if feasible != nil && !feasible(m) {
-				return
-			}
-			if v := obj(m); !found || v < best.Value {
-				best = exact.Solution{Mapping: m.Clone(), Value: v}
-				found = true
-			}
-		})
-		if err == nil {
-			if !found {
-				return Result{}, ErrInfeasible
-			}
-			return wrap(inst, req, best.Mapping, best.Value, MethodExact, true, nil)
 		}
 		if !errors.Is(err, exact.ErrSearchSpace) {
 			return Result{}, err

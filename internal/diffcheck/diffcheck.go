@@ -2,7 +2,7 @@
 // the complexity-aware solver dispatcher (internal/core) against two
 // independent oracles on randomly generated instances (internal/gen).
 //
-// For every scenario it checks four properties, mirroring how the KR-Benes
+// For every scenario it checks five properties, mirroring how the KR-Benes
 // line of work validates constructions by exhaustive comparison against the
 // classical baseline:
 //
@@ -27,6 +27,13 @@
 //     repeated to exercise the memo — must reproduce fresh one-shot
 //     core.Solve results bit-for-bit: same value, metrics, method,
 //     optimality flag and mapping, or the same error.
+//  5. Pruning equivalence. The branch-and-bound exact search
+//     (exact.Minimize) with its cuts and symmetry breaking enabled must
+//     agree bit-for-bit with the NoPrune reference walk of the entire
+//     space on the scenario's own problem: identical optimal value (exact
+//     float bits, not a tolerance) and identical feasibility verdict,
+//     with error strings compared verbatim. Skipped only when either side
+//     overruns the search-space limit.
 //
 // Check runs one scenario; Run fans a whole corpus out over a worker pool
 // and aggregates a Summary. Both are deterministic per (seed, n).
@@ -136,6 +143,9 @@ type Outcome struct {
 	// scenario's compiled plan, each asserted bit-identical to a fresh
 	// one-shot solve.
 	PlanQueries int
+	// PruneChecked reports that the pruned-vs-NoPrune equivalence property
+	// ran (it is skipped when either side overruns the oracle limit).
+	PruneChecked bool
 }
 
 // Check runs the full differential oracle on one scenario. A non-nil error
@@ -156,6 +166,14 @@ func Check(sc *gen.Scenario, opt Options) (Outcome, error) {
 	out.PlanQueries, perr = planEquivalence(sc)
 	if perr != nil {
 		return out, fmt.Errorf("%s (seed %d, index %d): plan equivalence: %w", sc.Name, sc.Seed, sc.Index, perr)
+	}
+
+	// Pruning equivalence likewise runs regardless of feasibility: an
+	// infeasibility verdict must be reproduced by the pruned search too.
+	var prerr error
+	out.PruneChecked, prerr = pruneEquivalence(sc, opt.oracleLimit())
+	if prerr != nil {
+		return out, fmt.Errorf("%s (seed %d, index %d): pruning equivalence: %w", sc.Name, sc.Seed, sc.Index, prerr)
 	}
 
 	oracle, oerr := bruteForce(&sc.Inst, sc.Req, opt.oracleLimit())
@@ -322,6 +340,58 @@ func planEquivalence(sc *gen.Scenario) (int, error) {
 	return queries, nil
 }
 
+// pruneEquivalence is the branch-and-bound oracle: solve the scenario's own
+// problem once with the full bag of tricks (bound pruning, symmetry
+// breaking, incremental evaluation) and once with Options.NoPrune walking
+// the entire space, and demand bit-for-bit agreement — the same optimal
+// value down to the last float bit, or the same error string. Witness
+// mappings may legitimately differ under symmetry breaking (two
+// interchangeable processors yield distinct mappings with identical
+// metrics), so only values and verdicts are compared. Returns false
+// (skipped) when either side overruns the limit: the NoPrune walk visits
+// the whole space, so it hits the cap long before the pruned search does.
+func pruneEquivalence(sc *gen.Scenario, limit int64) (bool, error) {
+	req := sc.Req
+	modes := exact.FastestOnly
+	if req.Objective == core.Energy || req.EnergyBudget > 0 {
+		modes = exact.AllModes
+	}
+	obj := exact.ObjPeriod
+	switch req.Objective {
+	case core.Latency:
+		obj = exact.ObjLatency
+	case core.Energy:
+		obj = exact.ObjEnergy
+	}
+	spec := exact.Spec{
+		Objective:     obj,
+		Model:         req.Model,
+		PeriodBounds:  req.PeriodBounds,
+		LatencyBounds: req.LatencyBounds,
+		EnergyBudget:  req.EnergyBudget,
+	}
+	opt := exact.Options{Rule: req.Rule, Modes: modes, Limit: limit}
+	pruned, perr := exact.Minimize(&sc.Inst, opt, spec)
+	opt.NoPrune = true
+	ref, rerr := exact.Minimize(&sc.Inst, opt, spec)
+	if errors.Is(perr, exact.ErrSearchSpace) || errors.Is(rerr, exact.ErrSearchSpace) {
+		return false, nil
+	}
+	switch {
+	case (perr == nil) != (rerr == nil),
+		perr != nil && perr.Error() != rerr.Error():
+		//lint:allow errclass diagnostic compares two error texts and either may be nil, which %w cannot format
+		return true, fmt.Errorf("pruned error %v, NoPrune error %v", perr, rerr)
+	case perr == nil:
+		//lint:allow floatcmp the oracle asserts bit-for-bit agreement; tolerance would mask drift
+		if pruned.Value != ref.Value {
+			return true, fmt.Errorf("pruned value %v differs from NoPrune value %v (stats %+v)",
+				pruned.Value, ref.Value, pruned.Stats)
+		}
+	}
+	return true, nil
+}
+
 // bruteForce enumerates every valid mapping under the request's rule and
 // returns the optimum of the requested objective among those satisfying the
 // request's bounds. It is the ground truth: a single exhaustive pass with
@@ -392,6 +462,10 @@ type Summary struct {
 	// completion; PlanQueries totals the individual plan queries asserted
 	// bit-identical to fresh one-shot solves across them.
 	PlanChecked, PlanQueries int
+	// PruneChecked counts scenarios where the branch-and-bound search was
+	// asserted bit-identical (value, feasibility, error strings) to the
+	// NoPrune reference walk.
+	PruneChecked int
 }
 
 // ComboNames returns the observed combination labels, sorted.
@@ -468,6 +542,9 @@ func Run(space gen.Space, seed int64, n int, opt Options) (Summary, error) {
 		if out.PlanQueries > 0 {
 			sum.PlanChecked++
 			sum.PlanQueries += out.PlanQueries
+		}
+		if out.PruneChecked {
+			sum.PruneChecked++
 		}
 	}
 	return sum, errors.Join(reported...)

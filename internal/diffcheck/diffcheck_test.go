@@ -50,6 +50,11 @@ func TestDifferential(t *testing.T) {
 	if want := 4 * n; sum.PlanQueries != want {
 		t.Errorf("plan-equivalence replayed %d queries, want %d", sum.PlanQueries, want)
 	}
+	// Pruning equivalence skips only where the NoPrune reference walk
+	// overruns the oracle limit; it must still run on the vast majority.
+	if sum.PruneChecked < n-n/10 {
+		t.Errorf("pruned-vs-NoPrune equivalence ran on %d of %d scenarios", sum.PruneChecked, n)
+	}
 	// The corpus must actually route through the paper's polynomial
 	// algorithms, not only the exhaustive fallback.
 	poly := 0

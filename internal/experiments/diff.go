@@ -15,8 +15,9 @@ import (
 // seeded corpus of randomly generated scenarios spanning every platform
 // class, communication model, mapping rule and criterion is solved through
 // the dispatcher and cross-checked against brute force, the discrete-event
-// simulator and the compiled-plan layer (see internal/diffcheck for the
-// four checked properties). n <= 0 draws six full combination windows.
+// simulator, the compiled-plan layer and the NoPrune reference walk (see
+// internal/diffcheck for the five checked properties). n <= 0 draws six
+// full combination windows.
 func Diff(w io.Writer, seed int64, n int) error {
 	space := gen.DefaultSpace()
 	if n <= 0 {
@@ -35,6 +36,7 @@ func Diff(w io.Writer, seed int64, n int) error {
 	tb.Addf("heuristic misses (allowed, incomplete)", sum.HeurMisses, "-")
 	tb.Addf("plan-equivalence scenarios", sum.PlanChecked, okMark(sum.PlanChecked == sum.Checked))
 	tb.Addf("plan queries bit-identical to one-shot", sum.PlanQueries, okMark(err == nil))
+	tb.Addf("pruned search == NoPrune walk (bitwise)", sum.PruneChecked, okMark(err == nil))
 	tb.Render(w)
 	fmt.Fprintln(w)
 

@@ -278,13 +278,15 @@ func TestAllocsRepeatQuery(t *testing.T) {
 	})
 	// The steady-state hit is a pooled key encode, a map lookup and the
 	// defensive deep copy of a 2-app result: a dozen small allocations at
-	// most, versus hundreds for the fresh DP.
+	// most. A fresh solve runs the pooled branch-and-bound arena these
+	// days, so it is nearly allocation-free itself — the memo hit must
+	// still never be heavier than re-solving.
 	const maxRepeat = 12
 	if repeat > maxRepeat {
 		t.Errorf("repeat query allocates %.0f allocs/op, want <= %d", repeat, maxRepeat)
 	}
-	if repeat*4 > fresh {
-		t.Errorf("repeat query (%.0f allocs/op) is not >=4x leaner than a fresh solve (%.0f allocs/op)",
+	if repeat > fresh {
+		t.Errorf("repeat query (%.0f allocs/op) is heavier than a fresh solve (%.0f allocs/op)",
 			repeat, fresh)
 	}
 }
