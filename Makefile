@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet lint vuln race bench bench-corpus bench-diff diff fuzz-smoke experiments serve clean
+.PHONY: all build test check fmt vet lint vuln race bench bench-corpus bench-diff diff chaos fuzz-smoke experiments serve clean
 
 all: check
 
@@ -44,10 +44,10 @@ vuln:
 # race runs the race detector over the concurrent packages — the compiled
 # plan layer, the batch engine and its consumers (pareto sweeps, the
 # experiment table drivers, the HTTP server, the public SolveBatch API) —
-# plus the solver core and the scenario generator, whose package tests
-# exercise them from concurrent batch workers.
+# plus the solver core, the scenario generator, and the chaos injector,
+# whose package tests exercise them from concurrent batch workers.
 race:
-	$(GO) test -race ./internal/core/ ./internal/gen/ ./internal/plan/ ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ ./internal/diffcheck/ .
+	$(GO) test -race ./internal/core/ ./internal/gen/ ./internal/plan/ ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ ./internal/diffcheck/ ./internal/chaos/ .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -69,6 +69,11 @@ bench-diff:
 # force vs simulator; see EXPERIMENTS.md section DIFF).
 diff:
 	$(GO) run ./cmd/pipebench -exp diff -instances 1080
+
+# chaos runs the fault-tolerance experiment (seeded fault chains, re-solve
+# latency, degraded rate, shed burst; see EXPERIMENTS.md section CHAOS).
+chaos:
+	$(GO) run ./cmd/pipebench -exp chaos -instances 36
 
 # fuzz-smoke runs each jobspec fuzz target briefly, as CI does.
 fuzz-smoke:

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/batch"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/general"
@@ -396,4 +397,84 @@ func GeneralLPT(inst *Instance) (GeneralMapping, float64, error) {
 func ReplicatedHeurMinPeriod(inst *Instance, model CommModel, seed int64, iters, restarts int) (ReplicatedMapping, float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	return repl.HeurMinPeriod(rng, inst, model, repl.HeurOptions{Iters: iters, Restarts: restarts})
+}
+
+// Fault tolerance (see internal/chaos): deterministic fault injection
+// against running mappings plus failure re-solving with migration diffs.
+type (
+	// FaultKind is the category of a fault event.
+	FaultKind = chaos.Kind
+	// FaultEvent is one fault: a kind plus the indices/factor it acts on.
+	FaultEvent = chaos.Event
+	// FaultSchedule is a replayable fault stream; equal seeds over equal
+	// instances yield bit-identical schedules.
+	FaultSchedule = chaos.Schedule
+	// AppliedFault is one event's outcome: the mutated, re-validated
+	// instance plus the processor index translation it induced.
+	AppliedFault = chaos.Applied
+	// MigrationDiff quantifies the move from a pre-fault mapping to its
+	// re-solved successor (stages moved, mode changes, processors
+	// retired/enrolled, disruption cost).
+	MigrationDiff = chaos.MigrationDiff
+	// ResolveResult is a failure re-solve: the event, the mutated
+	// instance, simulator-verified before/after results, and their diff.
+	ResolveResult = chaos.ResolveResult
+)
+
+// Fault kinds.
+const (
+	ProcFail    = chaos.ProcFail
+	ModeDrop    = chaos.ModeDrop
+	WeightDrift = chaos.WeightDrift
+	Slowdown    = chaos.Slowdown
+)
+
+// ErrFaultInapplicable classifies an event the instance cannot absorb
+// (failing the last processor, dropping a mode of a uni-modal processor).
+// It is a classification, not a crash; test with errors.Is.
+var ErrFaultInapplicable = chaos.ErrInapplicable
+
+// GenerateFaults draws a deterministic schedule of n fault events for the
+// instance: equal (seed, instance) pairs replay bit-identically, and every
+// event is applicable to the instance state it will see in order.
+func GenerateFaults(seed int64, inst *Instance, n int) (FaultSchedule, error) {
+	return chaos.Generate(seed, inst, n)
+}
+
+// ApplyFault applies one event to a deep copy of inst and re-validates the
+// mutated instance; inst itself is never written.
+func ApplyFault(inst *Instance, ev FaultEvent) (AppliedFault, error) {
+	return chaos.Apply(inst, ev)
+}
+
+// InjectFaults applies a whole event stream in order, returning every
+// intermediate re-validated state.
+func InjectFaults(inst *Instance, events []FaultEvent) ([]AppliedFault, error) {
+	return chaos.Inject(inst, events)
+}
+
+// Resolve computes the post-fault mapping for a compiled plan's problem:
+// solve the pre-fault query, apply the event, recompile, re-solve, verify
+// both mappings through the simulator, and return them with a migration
+// diff. Deterministic: the same (plan, query, event) triple always yields
+// bit-identical results.
+func Resolve(pl *Plan, q PlanQuery, ev FaultEvent) (*ResolveResult, error) {
+	return chaos.Resolve(pl, q, ev)
+}
+
+// ResolveCtx is Resolve under a wall-clock budget: an expired deadline
+// degrades the solves to the heuristic path (tagged Degraded/Preempted in
+// the results) instead of stalling the caller.
+func ResolveCtx(ctx context.Context, pl *Plan, q PlanQuery, ev FaultEvent) (*ResolveResult, error) {
+	return chaos.ResolveCtx(ctx, pl, q, ev)
+}
+
+// PromoteReplicas repairs a replicated mapping after a fault without
+// re-solving: replicas on a retired processor are dropped and their
+// group's survivors carry the full load, with indices and modes translated
+// into the mutated instance. It returns a wrapped ErrFaultInapplicable
+// when an interval loses its only replica — redundancy cannot absorb that
+// fault and the caller must fall back to Resolve.
+func PromoteReplicas(orig *Instance, rm *ReplicatedMapping, ap *AppliedFault) (ReplicatedMapping, int, error) {
+	return chaos.Promote(orig, rm, ap)
 }

@@ -398,3 +398,53 @@ func TestPublicAPIBatchCtxAndBoundedCache(t *testing.T) {
 		t.Errorf("cache stats = %+v, want cap 1 with evictions", st)
 	}
 }
+
+// TestPublicAPIFaultResolve walks the fault-tolerance exports end to end:
+// a deterministic fault schedule over the motivating example, injection
+// with re-validation, and a failure re-solve with a migration diff.
+func TestPublicAPIFaultResolve(t *testing.T) {
+	inst := MotivatingExample()
+	sched, err := GenerateFaults(7, &inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched2, err := GenerateFaults(7, &inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sched, sched2) {
+		t.Fatal("equal seeds produced different fault schedules")
+	}
+	states, err := InjectFaults(&inst, sched.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range states {
+		if err := states[i].Inst.Validate(); err != nil {
+			t.Fatalf("state %d after %v is invalid: %v", i, states[i].Event, err)
+		}
+	}
+
+	pl, err := Compile(&inst, Interval, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Resolve(pl, PlanQuery{Objective: Period}, FaultEvent{Kind: ProcFail, Proc: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmath.GE(rr.After.Value, rr.Before.Value) {
+		t.Errorf("re-solve after a processor failure improved the period: %g -> %g",
+			rr.Before.Value, rr.After.Value)
+	}
+	if rr.Diff.StagesTotal == 0 {
+		t.Error("migration diff reports zero total stages")
+	}
+
+	// An event the instance cannot absorb classifies, not crashes.
+	single := MotivatingExample()
+	single.Platform = NewHomogeneousPlatform(1, []float64{1}, 1, len(single.Apps))
+	if _, err := ApplyFault(&single, FaultEvent{Kind: ProcFail, Proc: 0}); !errors.Is(err, ErrFaultInapplicable) {
+		t.Errorf("failing the last processor: got %v, want ErrFaultInapplicable", err)
+	}
+}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	pipebatch -in jobs.json [-workers 8] [-no-dedup]
+//	pipebatch -in jobs.json -server http://host:8080 [-retries 5] [-retry-base 200ms]
 //
 // The job file holds an optional default instance plus a list of jobs;
 // each job may carry its own instance (overriding the default) and a
@@ -47,16 +48,31 @@
 // pipeserved HTTP service: a pipebatch job file can be POSTed verbatim to
 // its /v1/batch endpoint. Non-finite result values are rendered as null.
 //
+// With -server, pipebatch does exactly that instead of solving locally:
+// it POSTs the job file to <server>/v1/batch and prints the response.
+// A shed response (429 or 503, the service's admission control or an
+// open circuit breaker) is retried with jittered exponential backoff —
+// honoring the server's Retry-After header when it asks for a longer
+// wait — up to -retries times before giving up; any other non-200 is a
+// hard error. Transport failures retry on the same schedule.
+//
 // pipebatch exits non-zero on malformed input; per-job solver failures are
 // reported in the results array and do not abort the batch.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/jobspec"
@@ -74,6 +90,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	in := fs.String("in", "", "job file JSON (default: stdin)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	noDedup := fs.Bool("no-dedup", false, "disable duplicate-job memoization")
+	serverURL := fs.String("server", "", "POST the job file to this pipeserved base URL instead of solving locally")
+	retries := fs.Int("retries", 5, "retries after a shed (429/503) or transport failure in -server mode")
+	retryBase := fs.Duration("retry-base", 200*time.Millisecond, "base delay of the jittered exponential backoff")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,7 +106,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	doc, err := jobspec.DecodeFile(r)
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if *serverURL != "" {
+		return runRemote(stdout, *serverURL, raw, *retries, *retryBase)
+	}
+	doc, err := jobspec.DecodeFile(bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
@@ -104,4 +130,86 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// runRemote POSTs the raw job file to <base>/v1/batch and streams the
+// response document to stdout. Shed responses (429/503) and transport
+// failures are retried with jittered exponential backoff; a Retry-After
+// header stretches the wait when the server asks for more.
+func runRemote(stdout io.Writer, base string, body []byte, retries int, retryBase time.Duration) error {
+	url := strings.TrimSuffix(base, "/") + "/v1/batch"
+	// The jitter decorrelates clients retrying after a shared shed; it
+	// has no bearing on solver results, which the server computes.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retryAfter, err := postBatch(stdout, url, body)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !isRetryable(err) {
+			return err
+		}
+		if attempt >= retries {
+			return fmt.Errorf("giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		delay := backoffDelay(retryBase, attempt, rng)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		fmt.Fprintf(os.Stderr, "pipebatch: attempt %d: %v; retrying in %v\n", attempt+1, err, delay.Round(time.Millisecond))
+		time.Sleep(delay)
+	}
+}
+
+// shedError marks a retryable failure: the server shed the request (429
+// admission overflow or 503 open circuit) or the transport failed.
+type shedError struct{ err error }
+
+func (e *shedError) Error() string { return e.err.Error() }
+func (e *shedError) Unwrap() error { return e.err }
+
+func isRetryable(err error) bool {
+	var se *shedError
+	return errors.As(err, &se)
+}
+
+// postBatch performs one POST. On a shed it returns the server's
+// Retry-After as a duration (zero when absent) alongside the retryable
+// error; on any other failure retryAfter is zero.
+func postBatch(stdout io.Writer, url string, body []byte) (retryAfter time.Duration, err error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, &shedError{fmt.Errorf("posting batch: %w", err)}
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, &shedError{fmt.Errorf("reading response: %w", err)}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		_, err := stdout.Write(out)
+		return 0, err
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return retryAfter, &shedError{fmt.Errorf("server shed the batch: %s: %s", resp.Status, strings.TrimSpace(string(out)))}
+	default:
+		return 0, fmt.Errorf("server answered %s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+}
+
+// backoffDelay is the jittered exponential schedule: the nth retry waits
+// a uniformly random duration in [base·2ⁿ/2, base·2ⁿ], capped at 10s.
+func backoffDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base << uint(attempt)
+	const maxDelay = 10 * time.Second
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }

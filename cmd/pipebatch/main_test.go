@@ -3,13 +3,19 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/fmath"
 	"repro/internal/pipeline"
+	"repro/internal/server"
 )
 
 // writeJobFile encodes the motivating example as the default instance with
@@ -159,5 +165,105 @@ func TestPipebatchBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-in", "/nope.json"}, nil, new(bytes.Buffer)); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestPipebatchServerRetry points -server at a flaky front end that sheds
+// the first two attempts (a 429 with Retry-After, then a bare 503) before
+// proxying to a real pipeserved handler: pipebatch must back off, retry,
+// and come home with the same results a local run produces.
+func TestPipebatchServerRetry(t *testing.T) {
+	real := server.New(server.Config{})
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": "server saturated", "code": "shed"}`)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error": "circuit open", "code": "shed"}`)
+		default:
+			real.ServeHTTP(w, r)
+		}
+	}))
+	defer flaky.Close()
+
+	path := writeJobFile(t, `[
+		{"request": {"rule": "interval", "objective": "period"}},
+		{"request": {"rule": "interval", "objective": "latency"}}
+	]`)
+	var remote bytes.Buffer
+	start := time.Now()
+	if err := run([]string{"-in", path, "-server", flaky.URL, "-retries", "4", "-retry-base", "10ms"}, nil, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two sheds + one success)", got)
+	}
+	// The first shed carried Retry-After: 1, which must stretch the wait
+	// beyond the 10ms backoff base.
+	if waited := time.Since(start); waited < time.Second {
+		t.Fatalf("retries took %v; Retry-After: 1 was not honored", waited)
+	}
+
+	var local bytes.Buffer
+	if err := run([]string{"-in", path}, nil, &local); err != nil {
+		t.Fatal(err)
+	}
+	want := decodeOutput(t, &local)["results"].([]any)
+	got := decodeOutput(t, &remote)["results"].([]any)
+	if len(got) != len(want) {
+		t.Fatalf("%d remote results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wv := want[i].(map[string]any)["value"].(float64)
+		gv := got[i].(map[string]any)["value"].(float64)
+		if !fmath.EQ(wv, gv) {
+			t.Errorf("result %d: remote value %g != local %g", i, gv, wv)
+		}
+	}
+}
+
+// TestPipebatchServerGivesUp bounds the retry loop: a server that sheds
+// forever exhausts -retries and surfaces the shed as the final error.
+func TestPipebatchServerGivesUp(t *testing.T) {
+	var calls atomic.Int32
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error": "server saturated", "code": "shed"}`)
+	}))
+	defer always.Close()
+
+	path := writeJobFile(t, `[{"request": {"objective": "period"}}]`)
+	err := run([]string{"-in", path, "-server", always.URL, "-retries", "2", "-retry-base", "1ms"}, nil, new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "shed") {
+		t.Fatalf("got %v, want a shed error after exhausted retries", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestPipebatchServerHardError pins that a non-shed failure (a 400 from
+// a malformed document) is not retried.
+func TestPipebatchServerHardError(t *testing.T) {
+	var calls atomic.Int32
+	real := server.New(server.Config{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	err := run([]string{"-server", ts.URL, "-retries", "5", "-retry-base", "1ms"},
+		strings.NewReader(`{"jobs": "not an array"}`), new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("malformed remote batch accepted")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 400)", got)
 	}
 }

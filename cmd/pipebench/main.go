@@ -14,6 +14,9 @@
 //	                              # differential verification corpus size
 //	pipebench -exp benchdiff      # fresh corpus timing vs BENCH_solver.json,
 //	                              # fail on >2x regression of any variant
+//	pipebench -exp chaos -instances 36
+//	                              # fault-injection chains over the corpus:
+//	                              # re-solve p50/p99, degraded rate, shed rate
 //
 // pipebench exits non-zero if any paper claim failed to reproduce.
 package main
@@ -36,7 +39,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all | fig1 | table1 | table2 | sim | pareto | npc | extensions | scaling | diff | benchdiff")
+	exp := fs.String("exp", "all", "experiment: all | fig1 | table1 | table2 | sim | pareto | npc | extensions | scaling | diff | benchdiff | chaos")
 	seed := fs.Int64("seed", 1, "seed for the randomized validations")
 	trials := fs.Int("trials", 60, "trials for the simulator validation")
 	instances := fs.Int("instances", 0, "scenarios for the differential check (0 = six combination windows)")
@@ -68,6 +71,8 @@ func run(args []string, stdout io.Writer) error {
 		return experiments.Diff(stdout, *seed, *instances)
 	case "benchdiff":
 		return experiments.BenchDiff(stdout, *benchFile, *benchFactor)
+	case "chaos":
+		return experiments.Chaos(stdout, *seed, *instances)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

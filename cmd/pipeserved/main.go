@@ -7,8 +7,10 @@
 //	POST /v1/batch     pipebatch job file  -> per-job results + stats
 //	POST /v1/pareto    instance + rule     -> period/energy frontier
 //	POST /v1/simulate  instance + mapping  -> measured vs analytic metrics
+//	POST /v1/resolve   instance + request + fault event -> re-solve + diff
 //	GET  /healthz      liveness probe
-//	GET  /stats        cache/method/in-flight counters
+//	GET  /readyz       readiness probe (503 while draining)
+//	GET  /stats        cache/method/in-flight/shed counters
 //
 // Flags:
 //
@@ -24,6 +26,19 @@
 //	-max-body   request body cap in bytes (default 8 MiB); an oversized
 //	            body is rejected with a structured 413 JSON error
 //
+// Resilience flags (see internal/server):
+//
+//	-max-in-flight      solver requests running concurrently (0 = no
+//	                    admission control)
+//	-max-queue          solver requests allowed to wait for admission;
+//	                    beyond it requests are shed with 429 + Retry-After
+//	-solve-budget       per-job degraded-mode budget (0 = none): a job
+//	                    whose exact solve outlives it answers from the
+//	                    heuristic path, tagged "degraded", instead of 504
+//	-breaker-threshold  consecutive 504s on one endpoint that trip its
+//	                    circuit breaker (0 = breakers off)
+//	-breaker-cooldown   how long a tripped breaker sheds before probing
+//
 // A quick session against the Section 2 instance:
 //
 //	pipegen -preset fig1 > fig1.json
@@ -33,8 +48,11 @@
 //	# -> {"value": 46, "method": "...", "period": 2, ...}
 //	curl -s localhost:8080/stats
 //
-// pipeserved shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// pipeserved shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// 503 so load balancers drain the instance, the listener closes,
 // in-flight requests get a drain budget, and then the process exits.
+// /healthz stays 200 throughout — restarting a draining process would
+// kill exactly the requests the drain protects.
 package main
 
 import (
@@ -67,17 +85,27 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request budget (0 = none)")
 	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB default, negative = unlimited)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+	maxInFlight := fs.Int("max-in-flight", 0, "concurrent solver requests admitted (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 0, "solver requests allowed to queue for admission before shedding")
+	solveBudget := fs.Duration("solve-budget", 0, "per-job degraded-mode budget (0 = none)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive 504s tripping an endpoint's circuit breaker (0 = off)")
+	breakerCooldown := fs.Duration("breaker-cooldown", server.DefaultBreakerCooldown, "cooldown of a tripped circuit breaker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := log.New(os.Stderr, "pipeserved: ", log.LstdFlags)
 	srv := server.New(server.Config{
-		Workers:  *workers,
-		CacheCap: *cacheCap,
-		Timeout:  *timeout,
-		MaxBody:  *maxBody,
-		Logger:   logger,
+		Workers:          *workers,
+		CacheCap:         *cacheCap,
+		Timeout:          *timeout,
+		MaxBody:          *maxBody,
+		Logger:           logger,
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		SolveBudget:      *solveBudget,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -97,6 +125,7 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	logger.Printf("shutting down, draining in-flight requests (budget %v)", *drain)
+	srv.SetDraining(true) // /readyz answers 503 from here on; /healthz stays up
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -64,6 +64,17 @@
 // ("best performance within an energy budget") and server problem ("least
 // energy for a performance target").
 //
+// The fault-tolerance layer (see internal/chaos) models platform churn:
+// GenerateFaults draws a deterministic, replayable schedule of fault
+// events (processor failure, DVFS mode drop, weight drift, slowdown),
+// ApplyFault/InjectFaults mutate and re-validate instances, and Resolve
+// re-solves a compiled plan's problem after a fault, returning
+// simulator-verified before/after results with a MigrationDiff. Solves
+// under a budget (BatchOptions.SolveBudget, Plan.SolveCtx, ResolveCtx)
+// degrade gracefully: when the exact path exceeds its budget the result
+// falls back to the heuristic, tagged Degraded with a provable LowerBound
+// — never silently.
+//
 // # Quick start
 //
 //	inst := repro.MotivatingExample() // Section 2 of the paper

@@ -56,6 +56,13 @@ type Options struct {
 	// NoDedup disables memoization entirely: every job runs the solver,
 	// even exact duplicates. Useful for benchmarking the raw pool.
 	NoDedup bool
+	// SolveBudget, if positive, is a per-job wall-clock budget: a job
+	// whose solve outlives it degrades to the plan layer's reduced-effort
+	// fallback (plan.SolveCtx — heuristic on NP-hard cells, tagged
+	// Preempted) instead of blowing the whole batch's deadline. Preempted
+	// results are never retained by the cache. Zero means no budget.
+	// Ignored with NoDedup, which bypasses the plan layer.
+	SolveBudget time.Duration
 }
 
 // JobResult pairs one job's Result with its error; exactly one of the two
@@ -81,6 +88,10 @@ type Stats struct {
 	// batch sharing the Cache). Both are zero with NoDedup, which bypasses
 	// the plan layer entirely.
 	PlanCompiles, PlanReuses int
+	// Degraded counts successful jobs whose result came from the heuristic
+	// because the exact path was abandoned (Result.Degraded); Preempted is
+	// the subset forced by an expired SolveBudget (Result.Preempted).
+	Degraded, Preempted int
 	// Methods counts successful jobs per dispatch method, so callers can
 	// see how a batch split across the paper's algorithms.
 	Methods map[core.Method]int
@@ -120,7 +131,7 @@ func SolveCtx(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats
 		if cache == nil {
 			cache = NewCache()
 		}
-		solveDeduped(ctx, jobs, workers, cache, results, hits, &planCompiles, &planReuses)
+		solveDeduped(ctx, jobs, workers, cache, opts.SolveBudget, results, hits, &planCompiles, &planReuses)
 	}
 
 	stats := Stats{
@@ -138,6 +149,12 @@ func SolveCtx(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats
 			stats.Errors++
 		} else {
 			stats.Methods[results[i].Result.Method]++
+			if results[i].Result.Degraded {
+				stats.Degraded++
+			}
+			if results[i].Result.Preempted {
+				stats.Preempted++
+			}
 		}
 	}
 	return results, stats
@@ -162,7 +179,12 @@ func solveOne(inst *pipeline.Instance, req core.Request) (res core.Result, err e
 // core.Solve would, and plan queries dispatch through core.SolvePrepared —
 // and panics are confined the same way (PlanFor and Plan.Solve both publish
 // panics as errors rather than unwinding the worker).
-func solvePlanned(cache *Cache, job Job, planCompiles, planReuses *int64) (core.Result, error) {
+//
+// A positive budget arms a per-job deadline: the query runs through
+// plan.SolveCtx, which answers from the degraded path when the deadline
+// fires first (the full solve keeps running in the background and heals
+// the plan's memo).
+func solvePlanned(ctx context.Context, cache *Cache, job Job, budget time.Duration, planCompiles, planReuses *int64) (core.Result, error) {
 	pl, err, hit := cache.PlanFor(job.Inst, job.Req.Rule, job.Req.Model)
 	if hit {
 		atomic.AddInt64(planReuses, 1)
@@ -172,7 +194,12 @@ func solvePlanned(cache *Cache, job Job, planCompiles, planReuses *int64) (core.
 	if err != nil {
 		return core.Result{}, err
 	}
-	return pl.Solve(plan.QueryOf(job.Req))
+	if budget <= 0 {
+		return pl.Solve(plan.QueryOf(job.Req))
+	}
+	jctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	return pl.SolveCtx(jctx, plan.QueryOf(job.Req))
 }
 
 // solveAll runs every job individually, no memoization.
@@ -230,7 +257,7 @@ func dispatch(ctx context.Context, n int, ch chan int, skip func(i int)) {
 // every query against it — this batch's and later ones' — reuses the
 // compiled state. planCompiles/planReuses tally fresh compilations versus
 // plan-tier hits for Stats.
-func solveDeduped(ctx context.Context, jobs []Job, workers int, cache *Cache, results []JobResult, hits []bool, planCompiles, planReuses *int64) {
+func solveDeduped(ctx context.Context, jobs []Job, workers int, cache *Cache, budget time.Duration, results []JobResult, hits []bool, planCompiles, planReuses *int64) {
 	keyOrder := make([]string, 0, len(jobs))
 	groups := make(map[string][]int, len(jobs))
 	for i := range jobs {
@@ -264,7 +291,7 @@ func solveDeduped(ctx context.Context, jobs []Job, workers int, cache *Cache, re
 				}
 				job := jobs[idxs[0]]
 				res, err, hit := cache.do(keyOrder[g], func() (core.Result, error) {
-					return solvePlanned(cache, job, planCompiles, planReuses)
+					return solvePlanned(ctx, cache, job, budget, planCompiles, planReuses)
 				})
 				for n, i := range idxs {
 					jr := JobResult{Err: err}

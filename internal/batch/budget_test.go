@@ -1,0 +1,99 @@
+package batch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+)
+
+// TestSolveBudgetDegrades pins the degraded-mode contract end to end: a
+// per-job budget no solve can meet answers every job from the reduced
+// effort path, tagged Preempted (and Degraded where the cell is NP-hard),
+// with no error — graceful degradation, never silent. Preempted results
+// must not poison the cache: a budget-free batch over the same cache
+// re-solves cleanly.
+func TestSolveBudgetDegrades(t *testing.T) {
+	mi := pipeline.MotivatingExample()
+	jobs := []Job{
+		{Inst: &mi, Req: core.Request{Rule: mapping.Interval, Objective: core.Period, Seed: 1}},
+		{Inst: &mi, Req: core.Request{Rule: mapping.Interval, Objective: core.Latency, Seed: 1}},
+	}
+	cache := NewCache()
+	results, stats := Solve(jobs, Options{Cache: cache, SolveBudget: time.Nanosecond})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d under budget: %v", i, r.Err)
+		}
+		if !r.Result.Preempted {
+			t.Fatalf("job %d not preempted under a 1ns budget: %+v", i, r.Result)
+		}
+	}
+	if stats.Preempted != len(jobs) {
+		t.Fatalf("stats.Preempted = %d, want %d", stats.Preempted, len(jobs))
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("budgeted batch reported %d errors", stats.Errors)
+	}
+
+	// Cache purity: the preempted results were not retained, so the same
+	// jobs without a budget solve fresh and come back clean.
+	results2, stats2 := Solve(jobs, Options{Cache: cache})
+	for i, r := range results2 {
+		if r.Err != nil {
+			t.Fatalf("budget-free job %d: %v", i, r.Err)
+		}
+		if r.Result.Preempted {
+			t.Fatalf("budget-free job %d got a cached preempted result", i)
+		}
+	}
+	if stats2.Preempted != 0 {
+		t.Fatalf("budget-free stats.Preempted = %d", stats2.Preempted)
+	}
+
+	// Clean results ARE retained: a third pass is all cache hits and
+	// bit-identical.
+	results3, stats3 := Solve(jobs, Options{Cache: cache})
+	if stats3.CacheHits != len(jobs) {
+		t.Fatalf("third pass: %d cache hits, want %d", stats3.CacheHits, len(jobs))
+	}
+	for i := range results3 {
+		if results3[i].Result.Value != results2[i].Result.Value {
+			t.Fatalf("job %d: cached value %g != fresh value %g", i, results3[i].Result.Value, results2[i].Result.Value)
+		}
+	}
+}
+
+// TestSolveBudgetDegradedStats pins that Stats.Degraded counts heuristic
+// results on NP-hard cells even without a wall-clock budget (deterministic
+// ExactLimit degradation), which IS cacheable.
+func TestSolveBudgetDegradedStats(t *testing.T) {
+	mi := pipeline.MotivatingExample()
+	jobs := []Job{{Inst: &mi, Req: core.Request{
+		Rule: mapping.Interval, Objective: core.Period, ExactLimit: 1, Seed: 1, HeurIters: 50, HeurRestarts: 1,
+	}}}
+	cache := NewCache()
+	results, stats := Solve(jobs, Options{Cache: cache})
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if !results[0].Result.Degraded || results[0].Result.Preempted {
+		t.Fatalf("want Degraded && !Preempted, got %+v", results[0].Result)
+	}
+	if stats.Degraded != 1 || stats.Preempted != 0 {
+		t.Fatalf("stats Degraded/Preempted = %d/%d, want 1/0", stats.Degraded, stats.Preempted)
+	}
+	if lb := results[0].Result.LowerBound; lb <= 0 || lb > results[0].Result.Value {
+		t.Fatalf("degraded lower bound %g not in (0, %g]", lb, results[0].Result.Value)
+	}
+	// Deterministic degradation is cache-safe: the repeat is a hit.
+	_, stats2 := Solve(jobs, Options{Cache: cache})
+	if stats2.CacheHits != 1 {
+		t.Fatalf("deterministic degraded result was not cached: %+v", stats2)
+	}
+	if stats2.Degraded != 1 {
+		t.Fatalf("cached degraded result lost its flag: %+v", stats2)
+	}
+}

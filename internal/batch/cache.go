@@ -239,10 +239,30 @@ func (c *Cache) do(key string, compute func() (core.Result, error)) (res core.Re
 			e.err = fmt.Errorf("batch: memoized computation panicked: %v\n%s", r, debug.Stack())
 		}
 		close(e.ready)
+		if e.err == nil && e.res.Preempted {
+			c.forget(key, e)
+		}
 		res, err = cloneStored(e.res, e.err), e.err
 	}()
 	e.res, e.err = compute()
 	return // res, err are assigned by the deferred publisher
+}
+
+// forget removes an entry from its shard if it is still the installed
+// value for key. Preempted (budget-expired) results are published to any
+// waiters already parked on the entry — they shared the same overloaded
+// window — but never retained: whether a wall-clock deadline fired is a
+// property of scheduler timing, not of the key, so caching one would let a
+// transient stall permanently poison budget-free solves of the same
+// problem.
+func (c *Cache) forget(key string, e *cacheEntry) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok && el.Value.(*cacheEntry) == e {
+		sh.lru.Remove(el)
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
 }
 
 // cloneStored hands out an independent copy of a stored success; failures

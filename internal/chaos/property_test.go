@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mapping"
+	"repro/internal/repl"
+	"repro/internal/sim"
+)
+
+// TestPropertyFaultSweep is the churn-robustness property over the full
+// differential corpus: for every one of the 1080 generated scenarios
+// (every class x model x rule x criterion combination, including the
+// degenerate shapes), a seeded 3-event fault schedule is injected and
+//
+//   - every intermediate instance re-validates (Apply's contract);
+//   - replica promotion (repl.Mapping.Validate + sim.VerifyReplicated on
+//     the promoted mapping) either succeeds or fails with a classified
+//     error — never a panic;
+//   - replaying the same schedule is bit-identical (spot-checked by
+//     TestScheduleDeterminism; here the sweep is about crash-freedom and
+//     classification).
+func TestPropertyFaultSweep(t *testing.T) {
+	const scenarios = 1080
+	const eventsPer = 3
+	corpus := gen.DefaultSpace().Corpus(1, scenarios)
+	var promoted, inapplicable, skippedBaseline int
+	for i := range corpus {
+		sc := &corpus[i]
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("panic: %v", r)
+				}
+			}()
+
+			sched, gerr := Generate(sc.Seed+int64(sc.Index), &sc.Inst, eventsPer)
+			if gerr != nil {
+				return fmt.Errorf("generate: %w", gerr)
+			}
+			steps, ierr := Inject(&sc.Inst, sched.Events)
+			if ierr != nil && !errors.Is(ierr, ErrInapplicable) {
+				return fmt.Errorf("inject: %w", ierr)
+			}
+			for s := range steps {
+				if verr := steps[s].Inst.Validate(); verr != nil {
+					return fmt.Errorf("step %d (%v): mutated instance invalid: %w", s, steps[s].Event, verr)
+				}
+			}
+
+			// Exercise the replication layer under the same faults: build
+			// a whole-app baseline mapping (app a entirely on processor
+			// a), lift it to a one-replica-per-interval replicated
+			// mapping, and promote it through every fault step.
+			if sc.Inst.Platform.NumProcessors() < len(sc.Inst.Apps) {
+				skippedBaseline++ // proc-starved degenerate: no trivial baseline
+				return nil
+			}
+			base := mapping.Mapping{Apps: make([]mapping.AppMapping, len(sc.Inst.Apps))}
+			for a := range sc.Inst.Apps {
+				base.Apps[a].Intervals = []mapping.PlacedInterval{{
+					From: 0, To: sc.Inst.Apps[a].NumStages() - 1, Proc: a, Mode: 0,
+				}}
+			}
+			if verr := base.Validate(&sc.Inst, mapping.Interval); verr != nil {
+				return fmt.Errorf("baseline mapping invalid: %w", verr)
+			}
+			rm := repl.Lift(&base)
+			for s := range steps {
+				pm, _, perr := Promote(&sc.Inst, &rm, &steps[s])
+				if perr != nil {
+					if !errors.Is(perr, ErrInapplicable) {
+						return fmt.Errorf("step %d (%v): unclassified promote error: %w", s, steps[s].Event, perr)
+					}
+					inapplicable++
+					continue
+				}
+				if verr := pm.Validate(&steps[s].Inst); verr != nil {
+					return fmt.Errorf("step %d (%v): promoted mapping invalid: %w", s, steps[s].Event, verr)
+				}
+				if verr := sim.VerifyReplicated(&steps[s].Inst, &pm, sc.Req.Model, 1e-9); verr != nil {
+					return fmt.Errorf("step %d (%v): promoted mapping failed simulator replay: %w", s, steps[s].Event, verr)
+				}
+				promoted++
+			}
+			return nil
+		}()
+		if err != nil {
+			t.Fatalf("scenario %d (%s): %v", sc.Index, sc.Name, err)
+		}
+	}
+	// The sweep must be non-vacuous: most scenarios admit the baseline and
+	// most promotions succeed.
+	if promoted < scenarios {
+		t.Fatalf("only %d successful promotions across %d scenarios — sweep is vacuous (inapplicable %d, skipped %d)",
+			promoted, scenarios, inapplicable, skippedBaseline)
+	}
+	t.Logf("promotions %d, inapplicable %d, baseline-skipped %d", promoted, inapplicable, skippedBaseline)
+}

@@ -129,6 +129,19 @@ type Result struct {
 	// Optimal reports whether the result is provably optimal (polynomial
 	// theorem algorithms and exhaustive search) as opposed to heuristic.
 	Optimal bool
+	// Degraded reports that the exact path was abandoned (search space over
+	// ExactLimit) and the heuristic produced the mapping, so Value is only
+	// an upper bound on the optimum. Degraded holds iff Method is
+	// MethodHeuristic.
+	Degraded bool
+	// LowerBound is a provable lower bound on the constrained optimum,
+	// populated only on degraded results so callers can report the bound
+	// gap Value - LowerBound.
+	LowerBound float64
+	// Preempted reports that a wall-clock budget expired mid-solve and the
+	// result came from the reduced-effort degraded path (plan.SolveCtx).
+	// Preempted results depend on scheduler timing and are never memoized.
+	Preempted bool
 }
 
 // ErrInfeasible is returned when no mapping satisfies the bounds.
@@ -384,7 +397,74 @@ func fallback(inst *pipeline.Instance, req Request, solve func() (exact.Solution
 			return Result{}, err
 		}
 	}
-	return heuristicSolve(inst, req)
+	res, err := heuristicSolve(inst, req)
+	if err != nil {
+		return res, err
+	}
+	res.Degraded = true
+	res.LowerBound = lowerBound(inst, req)
+	return res, nil
+}
+
+// lowerBound computes a cheap provable lower bound on the constrained
+// optimum, attached to degraded (heuristic) results so callers can report
+// the bound gap. Constraints only shrink the feasible set, so a bound on
+// the unconstrained optimum is also valid for the constrained one.
+func lowerBound(inst *pipeline.Instance, req Request) float64 {
+	maxSpeed := 0.0
+	for u := range inst.Platform.Processors {
+		if s := inst.Platform.Processors[u].MaxSpeed(); s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	switch req.Objective {
+	case Period:
+		// Each application's heaviest stage runs somewhere, so some
+		// processor's cycle time is at least its work at the fastest
+		// speed, and the period is the max cycle time (Equations 3-4).
+		best := 0.0
+		for a := range inst.Apps {
+			heaviest := 0.0
+			for _, st := range inst.Apps[a].Stages {
+				if st.Work > heaviest {
+					heaviest = st.Work
+				}
+			}
+			if lb := inst.Apps[a].EffectiveWeight() * heaviest / maxSpeed; lb > best {
+				best = lb
+			}
+		}
+		return best
+	case Latency:
+		// Every stage executes once per data set, so each application's
+		// latency is at least its total work at the fastest speed.
+		best := 0.0
+		for a := range inst.Apps {
+			if lb := inst.Apps[a].EffectiveWeight() * inst.Apps[a].TotalWork() / maxSpeed; lb > best {
+				best = lb
+			}
+		}
+		return best
+	default: // Energy
+		// Processors are never shared across applications (nor across
+		// stages under one-to-one), so at least one processor per
+		// application (per stage under one-to-one) is enrolled, each
+		// burning at least the cheapest (processor, mode) power.
+		minPower := math.Inf(1)
+		for u := range inst.Platform.Processors {
+			if p := inst.Energy.Power(inst.Platform.Processors[u].MinSpeed()); p < minPower {
+				minPower = p
+			}
+		}
+		n := len(inst.Apps)
+		if req.Rule == mapping.OneToOne {
+			n = 0
+			for a := range inst.Apps {
+				n += inst.Apps[a].NumStages()
+			}
+		}
+		return float64(n) * minPower
+	}
 }
 
 // withinExactLimit estimates whether exhaustive search fits the budget by

@@ -34,6 +34,12 @@
 //     float bits, not a tolerance) and identical feasibility verdict,
 //     with error strings compared verbatim. Skipped only when either side
 //     overruns the search-space limit.
+//  6. Degraded-mode soundness. A result must carry Degraded exactly when
+//     the exact path was abandoned for the heuristic (Method ==
+//     MethodHeuristic, including forced budget-capped solves), and a
+//     degraded result must publish a provable lower bound: LowerBound <=
+//     its own value and LowerBound <= the brute-force optimum whenever
+//     the oracle is available — graceful degradation, never silent.
 //
 // Check runs one scenario; Run fans a whole corpus out over a worker pool
 // and aggregates a Summary. Both are deterministic per (seed, n).
@@ -146,6 +152,11 @@ type Outcome struct {
 	// PruneChecked reports that the pruned-vs-NoPrune equivalence property
 	// ran (it is skipped when either side overruns the oracle limit).
 	PruneChecked bool
+	// DegradedChecked counts the degraded-mode soundness assertions that
+	// ran on this scenario (the flag/method agreement on the normal solve
+	// plus, when the forced heuristic produced a result, its Degraded tag
+	// and lower-bound checks).
+	DegradedChecked int
 }
 
 // Check runs the full differential oracle on one scenario. A non-nil error
@@ -200,6 +211,12 @@ func Check(sc *gen.Scenario, opt Options) (Outcome, error) {
 
 	out.Feasible = true
 	out.Method, out.Optimal, out.Value = res.Method, res.Optimal, res.Value
+	// Degraded-mode soundness (property 6) on the dispatcher's own result:
+	// the flag must mean exactly "the exact path was abandoned".
+	if err := checkDegraded(&res, oracle, !out.OracleSkipped); err != nil {
+		return out, fmt.Errorf("%s (seed %d, index %d): %w", sc.Name, sc.Seed, sc.Index, err)
+	}
+	out.DegradedChecked++
 	if !out.OracleSkipped {
 		out.OracleValue = oracle
 		if res.Optimal && !fmath.EQ(res.Value, oracle) {
@@ -237,9 +254,41 @@ func Check(sc *gen.Scenario, opt Options) (Outcome, error) {
 			if err := replay(sc, &hres, opt); err != nil {
 				return out, fmt.Errorf("%s (seed %d, index %d): forced heuristic %w", sc.Name, sc.Seed, sc.Index, err)
 			}
+			// Property 6 on the budget-capped solve: ExactLimit 1 abandons
+			// the exhaustive path wherever the cell needed it, and the
+			// result must be tagged Degraded exactly then (polynomial
+			// theorem cells ignore the cap — they abandoned nothing).
+			if hres.Method == core.MethodHeuristic && !hres.Degraded {
+				return out, fmt.Errorf("%s (seed %d, index %d): budget-capped heuristic result is not tagged Degraded",
+					sc.Name, sc.Seed, sc.Index)
+			}
+			if err := checkDegraded(&hres, oracle, true); err != nil {
+				return out, fmt.Errorf("%s (seed %d, index %d): forced heuristic %w", sc.Name, sc.Seed, sc.Index, err)
+			}
+			out.DegradedChecked++
 		}
 	}
 	return out, nil
+}
+
+// checkDegraded is property 6: Degraded iff the heuristic method, and a
+// degraded result's LowerBound must be a genuine lower bound — no larger
+// than the achieved value, and (when the oracle ran) no larger than the
+// brute-force optimum it claims to bound.
+func checkDegraded(res *core.Result, oracle float64, haveOracle bool) error {
+	if res.Degraded != (res.Method == core.MethodHeuristic) {
+		return fmt.Errorf("degraded flag %v disagrees with method %q", res.Degraded, res.Method)
+	}
+	if !res.Degraded {
+		return nil
+	}
+	if !fmath.LE(res.LowerBound, res.Value) {
+		return fmt.Errorf("degraded lower bound %g exceeds the achieved value %g", res.LowerBound, res.Value)
+	}
+	if haveOracle && !fmath.LE(res.LowerBound, oracle) {
+		return fmt.Errorf("degraded lower bound %g exceeds the true optimum %g: the bound is not provable", res.LowerBound, oracle)
+	}
+	return nil
 }
 
 // replay is the consistency oracle: the returned mapping must be legal, its
@@ -466,6 +515,11 @@ type Summary struct {
 	// asserted bit-identical (value, feasibility, error strings) to the
 	// NoPrune reference walk.
 	PruneChecked int
+	// DegradedChecked totals the degraded-mode soundness assertions
+	// (property 6): flag/method agreement on every feasible solve plus
+	// the Degraded tag and lower-bound checks on forced budget-capped
+	// solves.
+	DegradedChecked int
 }
 
 // ComboNames returns the observed combination labels, sorted.
@@ -546,6 +600,7 @@ func Run(space gen.Space, seed int64, n int, opt Options) (Summary, error) {
 		if out.PruneChecked {
 			sum.PruneChecked++
 		}
+		sum.DegradedChecked += out.DegradedChecked
 	}
 	return sum, errors.Join(reported...)
 }

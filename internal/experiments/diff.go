@@ -34,6 +34,7 @@ func Diff(w io.Writer, seed int64, n int) error {
 	tb.Addf("oracle skips (search space cap)", sum.OracleSkips, okMark(sum.OracleSkips <= sum.Checked/20))
 	tb.Addf("forced-heuristic lower-bound checks", sum.HeurChecked, okMark(err == nil))
 	tb.Addf("heuristic misses (allowed, incomplete)", sum.HeurMisses, "-")
+	tb.Addf("degraded-mode soundness checks", sum.DegradedChecked, okMark(err == nil && sum.DegradedChecked > 0))
 	tb.Addf("plan-equivalence scenarios", sum.PlanChecked, okMark(sum.PlanChecked == sum.Checked))
 	tb.Addf("plan queries bit-identical to one-shot", sum.PlanQueries, okMark(err == nil))
 	tb.Addf("pruned search == NoPrune walk (bitwise)", sum.PruneChecked, okMark(err == nil))

@@ -19,7 +19,9 @@ package jobspec
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -29,6 +31,47 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
 )
+
+// Stable machine-readable error codes carried in Result.Code and in error
+// response documents, so clients branch on a code instead of parsing
+// message strings (the human-readable "error" text is kept alongside and
+// stays free to change).
+const (
+	// CodeInfeasible: the problem is well-formed but no mapping satisfies
+	// the bounds.
+	CodeInfeasible = "infeasible"
+	// CodeTimeout: a deadline or budget expired before a trustworthy
+	// answer existed; retry with a larger budget.
+	CodeTimeout = "timeout"
+	// CodeDegraded: a successful solve answered by the heuristic because
+	// the exact path was abandoned — the value is an upper bound (see the
+	// lowerBound/boundGap fields).
+	CodeDegraded = "degraded"
+	// CodeShed: the service refused the request to protect itself
+	// (admission queue full or circuit breaker open); honor Retry-After.
+	CodeShed = "shed"
+	// CodeInvalid: the request itself is malformed, oversized, or asks
+	// for an unsupported criteria combination.
+	CodeInvalid = "invalid"
+	// CodeInternal: an unexpected solver failure (a bug, not the client).
+	CodeInternal = "internal"
+)
+
+// ErrorCode classifies an engine error into a stable wire code.
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrInfeasible):
+		return CodeInfeasible
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return CodeTimeout
+	case errors.Is(err, core.ErrUnsupported):
+		return CodeInvalid
+	default:
+		return CodeInternal
+	}
+}
 
 // Float marshals like float64 except that NaN and ±Inf become JSON null
 // (encoding/json errors on non-finite values). It is an output-only
@@ -188,7 +231,18 @@ type Result struct {
 	Latency Float            `json:"latency,omitempty"`
 	Energy  Float            `json:"energy,omitempty"`
 	Mapping *json.RawMessage `json:"mapping,omitempty"`
-	Error   string           `json:"error,omitempty"`
+	// Degraded marks a heuristic answer where the exact path was
+	// abandoned; LowerBound/BoundGap then report a provable lower bound on
+	// the optimum and the gap Value - LowerBound. Preempted marks the
+	// subset forced by an expired wall-clock budget.
+	Degraded   bool  `json:"degraded,omitempty"`
+	Preempted  bool  `json:"preempted,omitempty"`
+	LowerBound Float `json:"lowerBound,omitempty"`
+	BoundGap   Float `json:"boundGap,omitempty"`
+	// Code is the stable machine-readable classification (Code* consts):
+	// "degraded" on degraded successes, an error code when Error is set.
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // Stats mirrors batch.Stats on the wire.
@@ -198,10 +252,15 @@ type Stats struct {
 	Errors    int `json:"errors"`
 	// PlanCompiles and PlanReuses report the compiled-plan tier: plans
 	// built fresh for this batch versus reused from the shared cache.
-	PlanCompiles int            `json:"planCompiles"`
-	PlanReuses   int            `json:"planReuses"`
-	WallMs       float64        `json:"wallMs"`
-	Methods      map[string]int `json:"methods"`
+	PlanCompiles int `json:"planCompiles"`
+	PlanReuses   int `json:"planReuses"`
+	// Degraded counts successful jobs answered by the heuristic with the
+	// exact path abandoned; Preempted the subset forced by an expired
+	// per-job budget.
+	Degraded  int            `json:"degraded,omitempty"`
+	Preempted int            `json:"preempted,omitempty"`
+	WallMs    float64        `json:"wallMs"`
+	Methods   map[string]int `json:"methods"`
 }
 
 // Output is the batch response document: per-job results in input order
@@ -214,14 +273,14 @@ type Output struct {
 // EncodeResult converts one engine result to its wire form.
 func EncodeResult(jr batch.JobResult) (Result, error) {
 	if jr.Err != nil {
-		return Result{Error: jr.Err.Error()}, nil
+		return Result{Error: jr.Err.Error(), Code: ErrorCode(jr.Err)}, nil
 	}
 	var buf bytes.Buffer
 	if err := mapping.EncodeJSON(&buf, &jr.Result.Mapping); err != nil {
 		return Result{}, err
 	}
 	raw := json.RawMessage(buf.Bytes())
-	return Result{
+	out := Result{
 		Value:   Float(jr.Result.Value),
 		Method:  string(jr.Result.Method),
 		Optimal: jr.Result.Optimal,
@@ -229,7 +288,15 @@ func EncodeResult(jr batch.JobResult) (Result, error) {
 		Latency: Float(jr.Result.Metrics.Latency),
 		Energy:  Float(jr.Result.Metrics.Energy),
 		Mapping: &raw,
-	}, nil
+	}
+	if jr.Result.Degraded {
+		out.Degraded = true
+		out.Code = CodeDegraded
+		out.LowerBound = Float(jr.Result.LowerBound)
+		out.BoundGap = Float(jr.Result.Value - jr.Result.LowerBound)
+	}
+	out.Preempted = jr.Result.Preempted
+	return out, nil
 }
 
 // EncodeStats converts engine statistics to their wire form.
@@ -240,6 +307,8 @@ func EncodeStats(s batch.Stats) Stats {
 		Errors:       s.Errors,
 		PlanCompiles: s.PlanCompiles,
 		PlanReuses:   s.PlanReuses,
+		Degraded:     s.Degraded,
+		Preempted:    s.Preempted,
 		WallMs:       float64(s.Wall.Microseconds()) / 1000,
 		Methods:      make(map[string]int, len(s.Methods)),
 	}

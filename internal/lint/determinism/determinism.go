@@ -35,11 +35,13 @@ var Analyzer = &analysis.Analyzer{
 // deterministicPkgs are the packages whose outputs must be reproducible
 // from explicit inputs alone: the solver core and algorithms, the
 // instance model and evaluators, the compiled-plan layer, the scenario
-// generator, the replication machinery, the simulator and the
+// generator, the fault-injection layer (seeded fault schedules must
+// replay identically), the replication machinery, the simulator and the
 // verification harness. The service (server, batch) and reporting layers
 // measure wall-clock time by design and are out of scope.
 var deterministicPkgs = []string{
 	"repro/internal/algo/",
+	"repro/internal/chaos",
 	"repro/internal/core",
 	"repro/internal/diffcheck",
 	"repro/internal/fmath",

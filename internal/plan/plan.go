@@ -30,7 +30,9 @@ package plan
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -115,8 +117,14 @@ type Plan struct {
 	memo map[string]*list.Element
 	lru  list.List // front = most recently used; values are *entry
 
-	queries, hits, evictions atomic.Int64
+	queries, hits, evictions, degraded atomic.Int64
 }
+
+// degradedHeurIters is the reduced annealing budget of a degraded solve
+// (the normal default is 4000 iterations times 3 restarts): after a
+// wall-clock budget has already expired, the fallback must be quick, not
+// thorough.
+const degradedHeurIters = 800
 
 // keyPool recycles query-key scratch buffers across Solve calls (the
 // per-query arena of the package docs).
@@ -206,23 +214,71 @@ func (p *Plan) Request(q Query) core.Request {
 // later, are answered from the memo. The returned Result is an independent
 // deep copy and the error, value, metrics, method, optimality flag and
 // mapping are bit-identical to core.Solve(instance, plan.Request(q)).
-func (p *Plan) Solve(q Query) (res core.Result, err error) {
+func (p *Plan) Solve(q Query) (core.Result, error) {
+	e, hit := p.lookup(q)
+	if hit {
+		<-e.ready
+	} else {
+		p.run(e, q)
+	}
+	return cloneStored(e.res, e.err), e.err
+}
+
+// SolveCtx is Solve under a wall-clock budget: when ctx carries no deadline
+// or cancellation it is exactly Solve, and when the budget expires before
+// the full solve publishes, the call returns a reduced-effort degraded
+// result (tagged Preempted, never memoized) instead of blocking. The full
+// solve keeps running on a background goroutine and publishes its clean
+// result to the memo, so later arrivals of the same query key self-heal to
+// the budget-free answer. A cancelled (as opposed to expired) context
+// returns ctx.Err(): the caller has gone away and no answer is wanted.
+func (p *Plan) SolveCtx(ctx context.Context, q Query) (core.Result, error) {
+	if ctx.Done() == nil {
+		return p.Solve(q)
+	}
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return p.degradedSolve(q)
+		}
+		return core.Result{}, err
+	}
+	e, hit := p.lookup(q)
+	if !hit {
+		// The solver reads the query's bound slices for the whole solve;
+		// clone them so the caller regaining control at deadline expiry
+		// cannot corrupt the memoized result by reusing its buffers.
+		go p.run(e, cloneQuery(q))
+	}
+	select {
+	case <-e.ready:
+		return cloneStored(e.res, e.err), e.err
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return p.degradedSolve(q)
+		}
+		return core.Result{}, ctx.Err()
+	}
+}
+
+// lookup finds or installs the single-flight memo entry for q. hit reports
+// whether the entry was already present (the caller must then wait on
+// e.ready); on a miss the caller owns running the solve via run.
+func (p *Plan) lookup(q Query) (e *entry, hit bool) {
 	p.queries.Add(1)
 	kp := keyPool.Get().(*[]byte)
 	buf := appendQueryKey((*kp)[:0], q)
 
 	p.mu.Lock()
 	if el, ok := p.memo[string(buf)]; ok {
-		e := el.Value.(*entry)
+		e = el.Value.(*entry)
 		p.lru.MoveToFront(el)
 		p.hits.Add(1)
 		p.mu.Unlock()
 		*kp = buf
 		keyPool.Put(kp)
-		<-e.ready
-		return cloneStored(e.res, e.err), e.err
+		return e, true
 	}
-	e := &entry{key: string(buf), ready: make(chan struct{})}
+	e = &entry{key: string(buf), ready: make(chan struct{})}
 	p.memo[e.key] = p.lru.PushFront(e)
 	for len(p.memo) > memoCap {
 		back := p.lru.Back()
@@ -233,16 +289,58 @@ func (p *Plan) Solve(q Query) (res core.Result, err error) {
 	p.mu.Unlock()
 	*kp = buf
 	keyPool.Put(kp)
+	return e, false
+}
 
+// run executes the solve for a freshly installed entry and publishes the
+// result, converting a panic into an error confined to this key.
+func (p *Plan) run(e *entry, q Query) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.err = fmt.Errorf("plan: query panicked: %v\n%s", r, debug.Stack())
 		}
 		close(e.ready)
-		res, err = cloneStored(e.res, e.err), e.err
 	}()
 	e.res, e.err = core.SolvePrepared(&p.inst, p.cls, p.Request(q))
-	return // res, err are assigned by the deferred publisher
+}
+
+// degradedSolve is the reduced-effort fallback taken when a wall-clock
+// budget expires: it forces the heuristic path on NP-hard cells (ExactLimit
+// 1; polynomial cells still run their fast theorem algorithm unchanged)
+// with a small annealing budget, and tags the result Preempted. Preempted
+// results are never memoized — whether a deadline fired depends on
+// scheduler timing, so caching one would poison budget-free callers of the
+// same query key. A failure of the fallback itself is reported as
+// context.DeadlineExceeded: the budget expired and the quick path could not
+// produce a trustworthy verdict (the heuristic's "infeasible" is not a
+// proof), so clients should retry with a larger budget.
+func (p *Plan) degradedSolve(q Query) (core.Result, error) {
+	p.degraded.Add(1)
+	dq := q
+	dq.ExactLimit = 1
+	// The annealing budget is forced down even when the query tuned its
+	// own: a query whose HeurIters made the full solve slow must not make
+	// the "quick" fallback just as slow.
+	dq.HeurIters = degradedHeurIters
+	dq.HeurRestarts = 1
+	res, err := core.SolvePrepared(&p.inst, p.cls, p.Request(dq))
+	if err != nil {
+		return core.Result{}, fmt.Errorf("plan: solve budget expired: %w (degraded fallback: %v)", context.DeadlineExceeded, err)
+	}
+	res.Preempted = true
+	return res, nil
+}
+
+// cloneQuery deep-copies the query's bound slices (the only reference
+// fields) for handoff to a background solve.
+func cloneQuery(q Query) Query {
+	if q.PeriodBounds != nil {
+		q.PeriodBounds = append([]float64(nil), q.PeriodBounds...)
+	}
+	if q.LatencyBounds != nil {
+		q.LatencyBounds = append([]float64(nil), q.LatencyBounds...)
+	}
+	return q
 }
 
 // cloneStored hands out an independent copy of a memoized success; failures
@@ -301,6 +399,9 @@ type Stats struct {
 	// were dropped to keep the memo under its cap.
 	Entries   int
 	Evictions int64
+	// Degraded counts SolveCtx calls whose budget expired before the full
+	// solve finished, answered by the reduced-effort degraded path.
+	Degraded int64
 }
 
 // HitRate returns Hits / Queries, or 0 before any query.
@@ -321,6 +422,7 @@ func (p *Plan) QueryStats() Stats {
 		Hits:      p.hits.Load(),
 		Entries:   n,
 		Evictions: p.evictions.Load(),
+		Degraded:  p.degraded.Load(),
 	}
 }
 

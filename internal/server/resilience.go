@@ -1,0 +1,250 @@
+// Resilience layer: admission control with load shedding, per-endpoint
+// circuit breakers, and the /v1/resolve failure re-solve endpoint. The
+// policy pieces live here; ServeHTTP (server.go) wires them in front of
+// the solver routes.
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/chaos"
+	"repro/internal/jobspec"
+	"repro/internal/plan"
+)
+
+// admit acquires a slot on the admission gate. It returns ok=false when
+// the gate and its wait queue are both full (the caller sheds the
+// request), and a non-nil err when the request's context died while
+// queued. With admission control disabled (no gate), every request is
+// admitted with a no-op release.
+func (s *Server) admit(r *http.Request) (release func(), ok bool, err error) {
+	if s.sem == nil {
+		return func() {}, true, nil
+	}
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, true, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, false, nil
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return release, true, nil
+	case <-r.Context().Done():
+		return nil, false, r.Context().Err()
+	}
+}
+
+// breaker is a per-endpoint circuit breaker over deadline overruns.
+// Closed, it counts consecutive 504s; at threshold it opens and sheds
+// every request for the cooldown. After the cooldown it is half-open:
+// requests flow again, but the overrun streak is retained, so a single
+// further overrun re-opens the circuit while one success closes it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+}
+
+// allow reports whether a request may proceed; when it may not, wait is
+// the remaining cooldown (the Retry-After hint).
+func (b *breaker) allow(now time.Time) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.Before(b.openUntil) {
+		return false, b.openUntil.Sub(now)
+	}
+	return true, 0
+}
+
+// record feeds one completed request into the breaker. A 504 is an
+// overrun; a shed (429) or an abandoned request (503, the client went
+// away) says nothing about the endpoint's health and leaves the streak
+// untouched; anything else is a success and closes the circuit.
+func (b *breaker) record(now time.Time, status int) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if status != http.StatusGatewayTimeout {
+		b.consecutive = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// state names the breaker's position for /stats.
+func (b *breaker) state(now time.Time) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case now.Before(b.openUntil):
+		return "open"
+	case b.consecutive >= b.threshold:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// statusRecorder captures the response status so ServeHTTP can feed the
+// circuit breaker after the handler returns.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+// retryAfterSeconds renders a wait as a Retry-After value: whole
+// seconds, rounded up, never below 1 (a zero would invite an immediate
+// retry of a request just shed for overload).
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// resolveRequest is the /v1/resolve document: the pre-fault problem
+// (instance + request, exactly the /v1/solve schema) plus the fault
+// event to absorb.
+type resolveRequest struct {
+	Instance json.RawMessage  `json:"instance"`
+	Request  jobspec.Request  `json:"request"`
+	Event    resolveEventJSON `json:"event"`
+}
+
+// resolveEventJSON is the wire form of a chaos.Event. Kind is one of
+// proc-fail, mode-drop, weight-drift, slowdown; the other fields apply
+// per kind (proc for proc-fail/mode-drop/slowdown, app+stage+factor for
+// weight-drift, factor for slowdown).
+type resolveEventJSON struct {
+	Kind   string  `json:"kind"`
+	Proc   int     `json:"proc,omitempty"`
+	App    int     `json:"app,omitempty"`
+	Stage  int     `json:"stage,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+}
+
+type migrationDiffJSON struct {
+	StagesTotal   int           `json:"stagesTotal"`
+	StagesMoved   int           `json:"stagesMoved"`
+	ModeChanges   int           `json:"modeChanges"`
+	ProcsRetired  []int         `json:"procsRetired,omitempty"`
+	ProcsEnrolled []int         `json:"procsEnrolled,omitempty"`
+	Disruption    jobspec.Float `json:"disruption"`
+}
+
+type resolveResponse struct {
+	Event resolveEventJSON `json:"event"`
+	// Before is the pre-fault solve, After the re-solve on the mutated
+	// instance; both mappings have been replayed through the simulator.
+	Before jobspec.Result    `json:"before"`
+	After  jobspec.Result    `json:"after"`
+	Diff   migrationDiffJSON `json:"diff"`
+}
+
+// handleResolve exposes the failure re-solve (internal/chaos): solve the
+// pre-fault problem, apply the fault event, re-solve on the mutated
+// instance, and answer both results plus the structured migration diff.
+// The compiled plan for the pre-fault instance is shared with every
+// other endpoint through the cache's plan tier. A fault the instance
+// cannot absorb (last processor failing, event out of range) is a 422
+// with code "invalid"; an instance the fault leaves infeasible is a 422
+// with code "infeasible".
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var body resolveRequest
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	if body.Instance == nil {
+		writeError(w, http.StatusBadRequest, errors.New("resolve request has no instance"))
+		return
+	}
+	kind, err := chaos.ParseKind(body.Event.Kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	file := jobspec.File{Instance: body.Instance, Jobs: []jobspec.Job{{Request: body.Request}}}
+	jobs, err := file.BatchJobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := jobs[0]
+	pl, err, _ := s.cache.PlanFor(job.Inst, job.Req.Rule, job.Req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ev := chaos.Event{Kind: kind, Proc: body.Event.Proc, App: body.Event.App,
+		Stage: body.Event.Stage, Factor: body.Event.Factor}
+	ctx := r.Context()
+	if b := s.cfg.SolveBudget; b > 0 {
+		// The budget covers the whole re-solve pair; either solve that
+		// outlives its share degrades rather than 504s.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 2*b)
+		defer cancel()
+	}
+	res, err := chaos.ResolveCtx(ctx, pl, plan.QueryOf(job.Req), ev)
+	if err != nil {
+		status := solveStatus(err)
+		if chaos.IsInapplicable(err) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	before, err := jobspec.EncodeResult(batch.JobResult{Result: res.Before})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	after, err := jobspec.EncodeResult(batch.JobResult{Result: res.After})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resolveResponse{
+		Event:  body.Event,
+		Before: before,
+		After:  after,
+		Diff: migrationDiffJSON{
+			StagesTotal:   res.Diff.StagesTotal,
+			StagesMoved:   res.Diff.StagesMoved,
+			ModeChanges:   res.Diff.ModeChanges,
+			ProcsRetired:  res.Diff.ProcsRetired,
+			ProcsEnrolled: res.Diff.ProcsEnrolled,
+			Disruption:    jobspec.Float(res.Diff.Disruption),
+		},
+	})
+}

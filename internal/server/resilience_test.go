@@ -1,0 +1,412 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// TestShedUnderSaturation saturates a 1-in-flight/1-queued server and
+// asserts the overflow request is shed with a structured 429, a code of
+// "shed" and a Retry-After header, while the admitted requests finish
+// with 200 once the gate frees up.
+func TestShedUnderSaturation(t *testing.T) {
+	s := New(Config{MaxInFlight: 1, MaxQueue: 1})
+
+	// Hold the only admission slot so the next request queues and the one
+	// after that overflows — deterministic saturation, no timing games.
+	s.sem <- struct{}{}
+	body := `{"instance": ` + fig1JSON(t) + `, "request": {"objective": "latency"}}`
+
+	queuedDone := make(chan int, 1)
+	go func() {
+		queuedDone <- post(s, "/v1/solve", body).Code
+	}()
+	waitFor(t, func() bool { return s.queued.Load() == 1 })
+
+	rec := post(s, "/v1/solve", body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("shed response has no Retry-After header")
+	}
+	var e errorBody
+	decode(t, rec, &e)
+	if e.Code != "shed" || e.Error == "" {
+		t.Fatalf("shed body = %+v, want code \"shed\" and an error message", e)
+	}
+
+	// Free the held slot: the queued request must be admitted and finish.
+	<-s.sem
+	select {
+	case code := <-queuedDone:
+		if code != http.StatusOK {
+			t.Fatalf("queued request finished with %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued request never finished after the gate freed")
+	}
+
+	var st struct {
+		Shed int64 `json:"shed"`
+	}
+	decode(t, get(s, "/stats"), &st)
+	if st.Shed != 1 {
+		t.Fatalf("stats shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestShedConcurrentLoad fires a burst far larger than the gate at a
+// saturated server: every response must be either a success or a
+// structured shed — nothing hangs, nothing is an empty body — and with
+// the gate held closed the sheds must actually occur.
+func TestShedConcurrentLoad(t *testing.T) {
+	s := New(Config{MaxInFlight: 2, MaxQueue: 2})
+	s.sem <- struct{}{}
+	s.sem <- struct{}{} // gate fully held: all admitted requests queue
+	body := `{"instance": ` + fig1JSON(t) + `, "request": {"objective": "latency"}}`
+
+	const burst = 16
+	codes := make([]int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = post(s, "/v1/solve", body).Code
+		}(i)
+	}
+	// Release the gate once the queue has filled so queued requests run.
+	waitFor(t, func() bool { return s.queued.Load() == 2 })
+	<-s.sem
+	<-s.sem
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("request %d: unexpected status %d", i, c)
+		}
+	}
+	if ok < 1 || shed < 1 {
+		t.Fatalf("burst of %d: %d ok, %d shed; want at least one of each", burst, ok, shed)
+	}
+}
+
+// TestBreakerTripsAndCoolsDown drives an endpoint into consecutive
+// deadline overruns (a per-request timeout no solve can meet), asserts
+// the circuit opens with 503 + Retry-After + code "shed", and that after
+// the cooldown the half-open probe is admitted again.
+func TestBreakerTripsAndCoolsDown(t *testing.T) {
+	s := New(Config{
+		Timeout:          time.Nanosecond, // every solve overruns instantly
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+	})
+	body := `{"instance": ` + fig1JSON(t) + `, "request": {"objective": "latency"}}`
+
+	for i := 0; i < 2; i++ {
+		if rec := post(s, "/v1/solve", body); rec.Code != http.StatusGatewayTimeout {
+			t.Fatalf("overrun %d: status %d, want 504: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec := post(s, "/v1/solve", body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("tripped breaker: status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("open-circuit response has no Retry-After header")
+	}
+	var e errorBody
+	decode(t, rec, &e)
+	if e.Code != "shed" {
+		t.Fatalf("open-circuit code = %q, want \"shed\"", e.Code)
+	}
+
+	// The breaker is per endpoint: /v1/batch is unaffected by /v1/solve's
+	// open circuit (it overruns on its own, but it is admitted).
+	if rec := post(s, "/v1/batch", `{"instance": `+fig1JSON(t)+`,
+		"jobs": [{"request": {"objective": "latency"}}]}`); rec.Code == http.StatusServiceUnavailable {
+		t.Fatalf("/v1/batch was shed by /v1/solve's breaker: %s", rec.Body.String())
+	}
+
+	var st struct {
+		Breakers map[string]string `json:"breakers"`
+	}
+	decode(t, get(s, "/stats"), &st)
+	if st.Breakers["/v1/solve"] != "open" {
+		t.Fatalf("stats breaker state = %q, want open (%v)", st.Breakers["/v1/solve"], st.Breakers)
+	}
+
+	// After the cooldown the probe is admitted (half-open): it overruns
+	// again here, which re-opens the circuit immediately.
+	time.Sleep(120 * time.Millisecond)
+	if rec := post(s, "/v1/solve", body); rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("half-open probe: status %d, want 504 (admitted)", rec.Code)
+	}
+	if rec := post(s, "/v1/solve", body); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("failed probe did not re-open the circuit: status %d", rec.Code)
+	}
+}
+
+// TestBreakerStateMachine unit-tests the recovery path record/allow
+// cannot easily reach through HTTP: a success in half-open closes the
+// circuit fully.
+func TestBreakerStateMachine(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: time.Minute}
+	t0 := time.Unix(1000, 0)
+	if ok, _ := b.allow(t0); !ok {
+		t.Fatal("fresh breaker is not closed")
+	}
+	b.record(t0, http.StatusGatewayTimeout)
+	if ok, _ := b.allow(t0); !ok {
+		t.Fatal("one overrun below threshold opened the circuit")
+	}
+	// A shed in between must not reset the streak.
+	b.record(t0, http.StatusTooManyRequests)
+	b.record(t0, http.StatusGatewayTimeout)
+	if ok, wait := b.allow(t0); ok || wait <= 0 {
+		t.Fatalf("threshold overruns did not open the circuit (ok=%v wait=%v)", ok, wait)
+	}
+	if got := b.state(t0); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	after := t0.Add(2 * time.Minute)
+	if ok, _ := b.allow(after); !ok {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	if got := b.state(after); got != "half-open" {
+		t.Fatalf("state = %q, want half-open", got)
+	}
+	b.record(after, http.StatusOK)
+	if got := b.state(after); got != "closed" {
+		t.Fatalf("successful probe left state %q, want closed", got)
+	}
+	b.record(after, http.StatusGatewayTimeout)
+	if ok, _ := b.allow(after); !ok {
+		t.Fatal("closed circuit opened after a single overrun")
+	}
+}
+
+// TestDrain pins the probe split: while draining, /readyz answers 503 so
+// load balancers stop routing here, /healthz stays 200 (the process is
+// alive, restarting it would kill the drain), and an in-flight request
+// runs to completion.
+func TestDrain(t *testing.T) {
+	s := New(Config{MaxInFlight: 1, MaxQueue: 1})
+
+	// Occupy the gate so a request is genuinely in flight (queued on the
+	// semaphore) while we flip draining.
+	s.sem <- struct{}{}
+	body := `{"instance": ` + fig1JSON(t) + `, "request": {"objective": "period"}}`
+	inFlight := make(chan int, 1)
+	go func() {
+		inFlight <- post(s, "/v1/solve", body).Code
+	}()
+	waitFor(t, func() bool { return s.queued.Load() == 1 })
+
+	s.SetDraining(true)
+	if rec := get(s, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: status %d, want 503", rec.Code)
+	}
+	if rec := get(s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz while draining: status %d, want 200", rec.Code)
+	}
+	var st struct {
+		Draining bool `json:"draining"`
+	}
+	decode(t, get(s, "/stats"), &st)
+	if !st.Draining {
+		t.Fatal("stats does not report draining")
+	}
+
+	// The in-flight request finishes normally despite the drain.
+	<-s.sem
+	select {
+	case code := <-inFlight:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request finished with %d during drain, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request did not finish during drain")
+	}
+
+	s.SetDraining(false)
+	if rec := get(s, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after drain cleared: status %d, want 200", rec.Code)
+	}
+}
+
+// TestResolveEndpoint runs a processor failure through /v1/resolve and
+// checks the response carries both verified solves and a migration diff
+// that retires the failed processor.
+func TestResolveEndpoint(t *testing.T) {
+	s := New(Config{})
+	rec := post(s, "/v1/resolve", `{"instance": `+fig1JSON(t)+`,
+		"request": {"objective": "period"},
+		"event": {"kind": "proc-fail", "proc": 0}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Event struct {
+			Kind string `json:"kind"`
+			Proc int    `json:"proc"`
+		} `json:"event"`
+		Before struct {
+			Value float64 `json:"value"`
+		} `json:"before"`
+		After struct {
+			Value float64 `json:"value"`
+		} `json:"after"`
+		Diff struct {
+			StagesTotal  int   `json:"stagesTotal"`
+			StagesMoved  int   `json:"stagesMoved"`
+			ProcsRetired []int `json:"procsRetired"`
+		} `json:"diff"`
+	}
+	decode(t, rec, &resp)
+	if resp.Event.Kind != "proc-fail" || resp.Event.Proc != 0 {
+		t.Fatalf("event echoed wrong: %+v", resp.Event)
+	}
+	if resp.Before.Value <= 0 || resp.After.Value < resp.Before.Value {
+		t.Fatalf("losing a processor improved the optimum: before %g, after %g",
+			resp.Before.Value, resp.After.Value)
+	}
+	if resp.Diff.StagesTotal <= 0 {
+		t.Fatalf("empty diff: %+v", resp.Diff)
+	}
+	retired := false
+	for _, u := range resp.Diff.ProcsRetired {
+		if u == 0 {
+			retired = true
+		}
+	}
+	if !retired && resp.Diff.StagesMoved == 0 {
+		t.Fatalf("failing P0 neither retired it nor moved stages: %+v", resp.Diff)
+	}
+}
+
+// TestResolveErrors pins the /v1/resolve error classifications: an
+// unknown event kind and an inapplicable event are client errors with
+// stable codes, never 500s.
+func TestResolveErrors(t *testing.T) {
+	s := New(Config{})
+	cases := []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"no instance", `{"request": {}, "event": {"kind": "proc-fail"}}`,
+			http.StatusBadRequest, "invalid"},
+		{"bad kind", `{"instance": ` + fig1JSON(t) + `, "request": {}, "event": {"kind": "meteor"}}`,
+			http.StatusBadRequest, "invalid"},
+		{"out of range", `{"instance": ` + fig1JSON(t) + `, "request": {}, "event": {"kind": "proc-fail", "proc": 99}}`,
+			http.StatusUnprocessableEntity, "invalid"},
+	}
+	for _, tc := range cases {
+		rec := post(s, "/v1/resolve", tc.body)
+		if rec.Code != tc.status {
+			t.Fatalf("%s: status %d, want %d: %s", tc.name, rec.Code, tc.status, rec.Body.String())
+		}
+		var e errorBody
+		decode(t, rec, &e)
+		if e.Code != tc.code || e.Error == "" {
+			t.Fatalf("%s: body %+v, want code %q and an error", tc.name, e, tc.code)
+		}
+	}
+}
+
+// TestErrorCodes pins the machine-readable code on the classic error
+// shapes of the pre-existing endpoints (satellite of the wire-code
+// contract: old "error" text stays, "code" is stable).
+func TestErrorCodes(t *testing.T) {
+	s := New(Config{})
+	cases := []struct {
+		name, path, body string
+		status           int
+		code             string
+	}{
+		{"malformed body", "/v1/solve", `{"instance": 12`, http.StatusBadRequest, "invalid"},
+		{"infeasible", "/v1/solve", `{"instance": ` + fig1JSON(t) + `,
+			"request": {"objective": "energy", "periodBound": 0.0001}}`,
+			http.StatusUnprocessableEntity, "infeasible"},
+	}
+	for _, tc := range cases {
+		rec := post(s, tc.path, tc.body)
+		if rec.Code != tc.status {
+			t.Fatalf("%s: status %d, want %d: %s", tc.name, rec.Code, tc.status, rec.Body.String())
+		}
+		var e errorBody
+		decode(t, rec, &e)
+		if e.Code != tc.code {
+			t.Fatalf("%s: code %q, want %q (error %q)", tc.name, e.Code, tc.code, e.Error)
+		}
+	}
+}
+
+// TestSolveBudgetDegradedResponse arms the server-wide solve budget with
+// a deadline no exact solve can meet: the response must be a 200 tagged
+// degraded with a lower bound, not a 504.
+func TestSolveBudgetDegradedResponse(t *testing.T) {
+	s := New(Config{SolveBudget: time.Nanosecond})
+	rec := post(s, "/v1/solve", `{"instance": `+fig1JSON(t)+`,
+		"request": {"objective": "period"}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budgeted solve: status %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Value      float64 `json:"value"`
+		Preempted  bool    `json:"preempted"`
+		Degraded   bool    `json:"degraded"`
+		Code       string  `json:"code"`
+		LowerBound float64 `json:"lowerBound"`
+		BoundGap   float64 `json:"boundGap"`
+	}
+	decode(t, rec, &resp)
+	if !resp.Preempted {
+		t.Fatalf("1ns budget did not preempt: %+v", resp)
+	}
+	if resp.Degraded {
+		if resp.Code != "degraded" {
+			t.Fatalf("degraded result code = %q, want \"degraded\"", resp.Code)
+		}
+		if resp.LowerBound <= 0 || resp.LowerBound > resp.Value {
+			t.Fatalf("lower bound %g not in (0, %g]", resp.LowerBound, resp.Value)
+		}
+		if got := resp.Value - resp.LowerBound; abs(got-resp.BoundGap) > 1e-12 {
+			t.Fatalf("boundGap %g != value-lowerBound %g", resp.BoundGap, got)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// waitFor polls cond until it holds or a generous deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -6,7 +6,9 @@
 //	POST /v1/batch     pipebatch job file -> per-job results + batch stats
 //	POST /v1/pareto    instance + rule    -> period/energy frontier + queries
 //	POST /v1/simulate  instance + mapping -> measured vs analytic metrics
-//	GET  /healthz      liveness probe
+//	POST /v1/resolve   instance + request + fault event -> re-solve + diff
+//	GET  /healthz      liveness probe (always up while the process lives)
+//	GET  /readyz       readiness probe (503 while draining for shutdown)
 //	GET  /stats        cache size/hit rate, per-method counts, in-flight
 //
 // All document schemas are shared with the CLI front ends via
@@ -22,7 +24,20 @@
 // process, and a panic in a handler or inside a memoized computation is
 // recovered into an error response without wedging concurrent waiters on
 // the same cache key. Every error path answers a structured JSON document
-// {"error": "..."} — never an empty body (see TestPropertyErrorResponses).
+// {"error": "...", "code": "..."} — never an empty body (see
+// TestPropertyErrorResponses); codes are the stable machine-readable
+// vocabulary of internal/jobspec (infeasible, timeout, degraded, shed,
+// invalid, internal).
+//
+// On top of the per-request defenses sits a resilience layer for overload
+// and churn (see resilience.go): solver endpoints pass admission control
+// (a bounded concurrency gate plus a bounded wait queue; beyond both the
+// request is shed with a structured 429 and a Retry-After header), a
+// per-endpoint circuit breaker trips after consecutive deadline overruns
+// (504s) and answers 503 + Retry-After until a cooldown passes, and a
+// positive Config.SolveBudget arms the batch engine's degraded mode so a
+// slow exact solve answers from the reduced-effort path (tagged
+// "degraded") instead of timing out.
 package server
 
 import (
@@ -67,7 +82,32 @@ type Config struct {
 	MaxBody int64
 	// Logger receives panic reports and lifecycle messages; nil discards.
 	Logger *log.Logger
+
+	// MaxInFlight bounds the solver requests (POST /v1/*) running
+	// concurrently; <= 0 disables admission control. Probe and stats
+	// endpoints are never gated.
+	MaxInFlight int
+	// MaxQueue bounds the solver requests allowed to wait for an
+	// admission slot once MaxInFlight are running; a request beyond both
+	// is shed with a structured 429 and a Retry-After header. 0 means no
+	// queue: shed as soon as the gate is full.
+	MaxQueue int
+	// SolveBudget, if positive, is the per-job wall-clock budget handed
+	// to the batch engine: a job whose exact solve outlives it answers
+	// from the degraded heuristic path (tagged "degraded") instead of
+	// riding the request into a 504.
+	SolveBudget time.Duration
+	// BreakerThreshold is the number of consecutive deadline overruns
+	// (504 responses) on one solver endpoint that trips its circuit
+	// breaker; <= 0 disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker answers 503 before
+	// admitting a probe request; 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
+
+// DefaultBreakerCooldown applies when Config.BreakerCooldown is 0.
+const DefaultBreakerCooldown = 5 * time.Second
 
 // DefaultMaxBody is the request body cap applied when Config.MaxBody is 0.
 const DefaultMaxBody int64 = 8 << 20
@@ -89,6 +129,18 @@ type Server struct {
 	start time.Time
 
 	inFlight atomic.Int64
+	draining atomic.Bool
+	shed     atomic.Int64
+
+	// sem is the admission gate for solver endpoints (nil when
+	// MaxInFlight <= 0); queued counts requests waiting on it.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// breakers holds one circuit breaker per solver route (nil when
+	// BreakerThreshold <= 0). The map is built once in New and only read
+	// afterwards, so lookups need no lock.
+	breakers map[string]*breaker
 
 	mu       sync.Mutex
 	requests map[string]int64
@@ -114,10 +166,31 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/pareto", s.handlePareto)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/resolve", s.handleResolve)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if cfg.BreakerThreshold > 0 {
+		cooldown := cfg.BreakerCooldown
+		if cooldown == 0 {
+			cooldown = DefaultBreakerCooldown
+		}
+		s.breakers = make(map[string]*breaker)
+		for _, route := range []string{"/v1/solve", "/v1/batch", "/v1/pareto", "/v1/simulate", "/v1/resolve"} {
+			s.breakers[route] = &breaker{threshold: cfg.BreakerThreshold, cooldown: cooldown}
+		}
+	}
 	return s
 }
+
+// SetDraining flips the readiness probe: while draining, GET /readyz
+// answers 503 so load balancers stop routing new work here, while
+// /healthz stays up and in-flight requests run to completion. Call it
+// before http.Server.Shutdown for a clean drain.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Cache exposes the shared memoization cache (for stats and tests).
 func (s *Server) Cache() *batch.Cache { return s.cache }
@@ -158,13 +231,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
 		}
 	}()
+
+	// Solver endpoints pass the resilience gauntlet: circuit breaker
+	// first (cheap, sheds while a route is known-overrun), then the
+	// admission gate. Probes and stats always go straight through.
+	if !strings.HasPrefix(pattern, "POST /v1/") {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if br := s.breakers[key]; br != nil {
+		if ok, wait := br.allow(time.Now()); !ok {
+			s.shed.Add(1)
+			writeShed(w, http.StatusServiceUnavailable, wait,
+				fmt.Errorf("circuit open for %s after repeated deadline overruns; retry after %v", key, wait.Round(time.Millisecond)))
+			return
+		}
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		w = sr
+		defer func() { br.record(time.Now(), sr.status) }()
+	}
+	release, ok, err := s.admit(r)
+	if err != nil {
+		// The request's own deadline fired while it queued for a slot.
+		writeError(w, solveStatus(err), fmt.Errorf("request expired waiting for admission: %w", err))
+		return
+	}
+	if !ok {
+		s.shed.Add(1)
+		writeShed(w, http.StatusTooManyRequests, time.Second,
+			fmt.Errorf("server saturated: %d requests in flight and %d queued; retry later",
+				s.cfg.MaxInFlight, s.cfg.MaxQueue))
+		return
+	}
+	defer release()
 	s.mux.ServeHTTP(w, r)
 }
 
 // batchOptions are the engine options every request shares: the bounded
 // worker pool and the server-lifetime cache.
 func (s *Server) batchOptions() batch.Options {
-	return batch.Options{Workers: s.cfg.Workers, Cache: s.cache}
+	return batch.Options{Workers: s.cfg.Workers, Cache: s.cache, SolveBudget: s.cfg.SolveBudget}
 }
 
 // countMethods folds a batch's per-method counts into the server totals.
@@ -187,10 +293,34 @@ func writeJSON(w http.ResponseWriter, status int, doc any) {
 
 type errorJSON struct {
 	Error string `json:"error"`
+	// Code is the stable machine-readable classification from
+	// internal/jobspec (infeasible, timeout, degraded, shed, invalid,
+	// internal); the error text stays free-form.
+	Code string `json:"code,omitempty"`
 }
 
+// writeError classifies err through jobspec.ErrorCode; a 4xx the
+// classifier cannot name (malformed body, missing field, oversized
+// request) is the client's fault, so it reports "invalid" rather than
+// "internal".
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorJSON{Error: err.Error()})
+	code := jobspec.ErrorCode(err)
+	if code == jobspec.CodeInternal && status >= 400 && status < 500 {
+		code = jobspec.CodeInvalid
+	}
+	writeErrorCode(w, status, code, err)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error(), Code: code})
+}
+
+// writeShed answers a load-shedding rejection (admission gate full or
+// circuit open): structured JSON with code "shed" plus a Retry-After
+// header so well-behaved clients back off instead of hammering.
+func writeShed(w http.ResponseWriter, status int, wait time.Duration, err error) {
+	w.Header().Set("Retry-After", retryAfterSeconds(wait))
+	writeErrorCode(w, status, jobspec.CodeShed, err)
 }
 
 // solveStatus maps a solver error to an HTTP status: client-shaped
@@ -465,8 +595,22 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is liveness: it answers 200 for as long as the process
+// can serve HTTP at all, even while draining — restarting a draining
+// process would kill the in-flight requests the drain exists to protect.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while the server drains for shutdown so
+// load balancers route new work elsewhere, 200 otherwise. Liveness and
+// readiness are deliberately separate probes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // cacheStatsJSON is the /stats cache block: the result tier plus the
@@ -488,11 +632,15 @@ type cacheStatsJSON struct {
 }
 
 type statsResponse struct {
-	UptimeMs float64          `json:"uptimeMs"`
-	InFlight int64            `json:"inFlight"`
-	Requests map[string]int64 `json:"requests"`
-	Methods  map[string]int64 `json:"methods"`
-	Cache    cacheStatsJSON   `json:"cache"`
+	UptimeMs float64           `json:"uptimeMs"`
+	InFlight int64             `json:"inFlight"`
+	Queued   int64             `json:"queued"`
+	Shed     int64             `json:"shed"`
+	Draining bool              `json:"draining"`
+	Requests map[string]int64  `json:"requests"`
+	Methods  map[string]int64  `json:"methods"`
+	Breakers map[string]string `json:"breakers,omitempty"`
+	Cache    cacheStatsJSON    `json:"cache"`
 }
 
 // handleStats reports the operational counters: in-flight requests,
@@ -503,6 +651,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		UptimeMs: float64(time.Since(s.start).Microseconds()) / 1000,
 		InFlight: s.inFlight.Load(),
+		Queued:   s.queued.Load(),
+		Shed:     s.shed.Load(),
+		Draining: s.draining.Load(),
 		Requests: make(map[string]int64),
 		Methods:  make(map[string]int64),
 		Cache: cacheStatsJSON{
@@ -519,6 +670,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PlanEvictions: cs.PlanEvictions,
 			PlanHitRate:   cs.PlanHitRate(),
 		},
+	}
+	if len(s.breakers) > 0 {
+		resp.Breakers = make(map[string]string, len(s.breakers))
+		now := time.Now()
+		for route, br := range s.breakers {
+			resp.Breakers[route] = br.state(now)
+		}
 	}
 	s.mu.Lock()
 	for k, v := range s.requests {
