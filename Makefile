@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet lint vuln race bench bench-corpus bench-diff diff chaos fuzz-smoke experiments serve clean
+.PHONY: all build test check fmt vet lint vuln race bench bench-corpus bench-diff diff chaos load fuzz-smoke experiments serve gateway clean
 
 all: check
 
@@ -43,11 +43,12 @@ vuln:
 
 # race runs the race detector over the concurrent packages — the compiled
 # plan layer, the batch engine and its consumers (pareto sweeps, the
-# experiment table drivers, the HTTP server, the public SolveBatch API) —
-# plus the solver core, the scenario generator, and the chaos injector,
-# whose package tests exercise them from concurrent batch workers.
+# experiment table drivers, the HTTP server, the gateway fan-out, the
+# public SolveBatch API) — plus the solver core, the scenario generator,
+# and the chaos injector, whose package tests exercise them from
+# concurrent batch workers.
 race:
-	$(GO) test -race ./internal/core/ ./internal/gen/ ./internal/plan/ ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ ./internal/diffcheck/ ./internal/chaos/ .
+	$(GO) test -race ./internal/core/ ./internal/gen/ ./internal/plan/ ./internal/batch/ ./internal/pareto/ ./internal/experiments/ ./internal/server/ ./internal/gateway/ ./internal/diffcheck/ ./internal/chaos/ .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -75,6 +76,13 @@ diff:
 chaos:
 	$(GO) run ./cmd/pipebench -exp chaos -instances 36
 
+# load runs the service-level load experiment: an in-process pipegateway
+# over three pipeserved replicas under zipf and uniform batch traffic,
+# dueling the three cache policies and regenerating BENCH_service.json
+# (see EXPERIMENTS.md section LOAD).
+load:
+	$(GO) run ./cmd/pipebench -exp load
+
 # fuzz-smoke runs each jobspec fuzz target briefly, as CI does.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzFileRoundTrip$$ -fuzztime=30s ./internal/jobspec/
@@ -87,6 +95,13 @@ experiments:
 # serve runs the solver HTTP service locally (see cmd/pipeserved -h).
 serve:
 	$(GO) run ./cmd/pipeserved
+
+# gateway runs the sharded front door locally against replicas named in
+# REPLICAS, e.g.
+#   make gateway REPLICAS="http://localhost:8081,http://localhost:8082"
+# (see cmd/pipegateway -h for routing, retry, and stats-merging flags).
+gateway:
+	$(GO) run ./cmd/pipegateway -replicas "$(REPLICAS)"
 
 clean:
 	$(GO) clean ./...

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	pipebatch -in jobs.json [-workers 8] [-no-dedup]
-//	pipebatch -in jobs.json -server http://host:8080 [-retries 5] [-retry-base 200ms]
+//	pipebatch -in jobs.json -server http://host:8080 [-retries 5] [-retry-base 200ms] [-http-timeout 60s]
 //
 // The job file holds an optional default instance plus a list of jobs;
 // each job may carry its own instance (overriding the default) and a
@@ -52,9 +52,13 @@
 // it POSTs the job file to <server>/v1/batch and prints the response.
 // A shed response (429 or 503, the service's admission control or an
 // open circuit breaker) is retried with jittered exponential backoff —
-// honoring the server's Retry-After header when it asks for a longer
-// wait — up to -retries times before giving up; any other non-200 is a
-// hard error. Transport failures retry on the same schedule.
+// honoring the server's Retry-After header (both RFC 7231 forms,
+// delta-seconds and HTTP-date) when it asks for a longer wait — up to
+// -retries times before giving up; any other non-200 is a hard error.
+// Transport failures, including a hung connection hitting the
+// -http-timeout per-attempt deadline, retry on the same schedule: each
+// attempt is bounded, so a wedged server can never stall the retry loop
+// forever.
 //
 // pipebatch exits non-zero on malformed input; per-job solver failures are
 // reported in the results array and do not abort the batch.
@@ -70,11 +74,11 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/gateway"
 	"repro/internal/jobspec"
 )
 
@@ -93,6 +97,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	serverURL := fs.String("server", "", "POST the job file to this pipeserved base URL instead of solving locally")
 	retries := fs.Int("retries", 5, "retries after a shed (429/503) or transport failure in -server mode")
 	retryBase := fs.Duration("retry-base", 200*time.Millisecond, "base delay of the jittered exponential backoff")
+	httpTimeout := fs.Duration("http-timeout", gateway.DefaultClientTimeout,
+		"per-attempt HTTP deadline in -server mode (default twice the server's own 30s request deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,7 +117,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if *serverURL != "" {
-		return runRemote(stdout, *serverURL, raw, *retries, *retryBase)
+		return runRemote(stdout, *serverURL, raw, *retries, *retryBase, gateway.NewClient(*httpTimeout))
 	}
 	doc, err := jobspec.DecodeFile(bytes.NewReader(raw))
 	if err != nil {
@@ -134,16 +140,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 // runRemote POSTs the raw job file to <base>/v1/batch and streams the
 // response document to stdout. Shed responses (429/503) and transport
-// failures are retried with jittered exponential backoff; a Retry-After
-// header stretches the wait when the server asks for more.
-func runRemote(stdout io.Writer, base string, body []byte, retries int, retryBase time.Duration) error {
+// failures — including attempts cut off by the client's own timeout —
+// are retried with jittered exponential backoff; a Retry-After header
+// stretches the wait when the server asks for more. The client comes
+// from the shared gateway plumbing, so every attempt has a deadline.
+func runRemote(stdout io.Writer, base string, body []byte, retries int, retryBase time.Duration, client *http.Client) error {
 	url := strings.TrimSuffix(base, "/") + "/v1/batch"
 	// The jitter decorrelates clients retrying after a shared shed; it
 	// has no bearing on solver results, which the server computes.
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		retryAfter, err := postBatch(stdout, url, body)
+		retryAfter, err := postBatch(stdout, client, url, body)
 		if err == nil {
 			return nil
 		}
@@ -175,12 +183,15 @@ func isRetryable(err error) bool {
 	return errors.As(err, &se)
 }
 
-// postBatch performs one POST. On a shed it returns the server's
-// Retry-After as a duration (zero when absent) alongside the retryable
-// error; on any other failure retryAfter is zero.
-func postBatch(stdout io.Writer, url string, body []byte) (retryAfter time.Duration, err error) {
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+// postBatch performs one POST on the timed client. On a shed it returns
+// the server's Retry-After — either RFC 7231 form, parsed by the shared
+// gateway helper — as a duration (zero when absent or malformed)
+// alongside the retryable error; on any other failure retryAfter is zero.
+func postBatch(stdout io.Writer, client *http.Client, url string, body []byte) (retryAfter time.Duration, err error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
+		// Transport failure or the per-attempt timeout: both retryable —
+		// the server may be restarting, or this attempt raced a stall.
 		return 0, &shedError{fmt.Errorf("posting batch: %w", err)}
 	}
 	defer resp.Body.Close()
@@ -193,9 +204,7 @@ func postBatch(stdout io.Writer, url string, body []byte) (retryAfter time.Durat
 		_, err := stdout.Write(out)
 		return 0, err
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
-			retryAfter = time.Duration(secs) * time.Second
-		}
+		retryAfter = gateway.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return retryAfter, &shedError{fmt.Errorf("server shed the batch: %s: %s", resp.Status, strings.TrimSpace(string(out)))}
 	default:
 		return 0, fmt.Errorf("server answered %s: %s", resp.Status, strings.TrimSpace(string(out)))

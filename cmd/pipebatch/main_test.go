@@ -226,6 +226,77 @@ func TestPipebatchServerRetry(t *testing.T) {
 	}
 }
 
+// TestPipebatchServerTimeoutRetries is the untimed-client satellite
+// regression: a server that hangs used to stall the retry loop forever
+// (http.Post has no deadline). With -http-timeout the hung attempt is cut
+// off, classified retryable, and the next attempt succeeds.
+func TestPipebatchServerTimeoutRetries(t *testing.T) {
+	real := server.New(server.Config{})
+	var calls atomic.Int32
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // hang until the test ends; the client must not wait for us
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer func() { close(release); hung.Close() }()
+
+	path := writeJobFile(t, `[{"request": {"objective": "period"}}]`)
+	var out bytes.Buffer
+	start := time.Now()
+	err := run([]string{"-in", path, "-server", hung.URL,
+		"-http-timeout", "150ms", "-retries", "3", "-retry-base", "1ms"}, nil, &out)
+	if err != nil {
+		t.Fatalf("hung first attempt was not retried: %v", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("run took %v; the per-attempt timeout did not bound the hung attempt", waited)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one hung + one success)", got)
+	}
+	results := decodeOutput(t, &out)["results"].([]any)
+	if v := results[0].(map[string]any)["value"].(float64); !fmath.EQ(v, 1) {
+		t.Errorf("value = %g, want 1", v)
+	}
+}
+
+// TestPipebatchServerHTTPDateRetryAfter is the Retry-After satellite
+// regression: the RFC 7231 HTTP-date form must stretch the wait exactly
+// like delta-seconds (the old parser silently ignored it).
+func TestPipebatchServerHTTPDateRetryAfter(t *testing.T) {
+	real := server.New(server.Config{})
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error": "circuit open", "code": "shed"}`)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	path := writeJobFile(t, `[{"request": {"objective": "period"}}]`)
+	start := time.Now()
+	if err := run([]string{"-in", path, "-server", flaky.URL, "-retries", "2", "-retry-base", "1ms"},
+		nil, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	// HTTP-date resolution is whole seconds, so formatting truncates the
+	// 2s target to somewhere in (1s, 2s] remaining; a wait past 500ms
+	// proves the date was parsed (the backoff alone would wait ~1ms).
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Fatalf("retry waited only %v; the HTTP-date Retry-After was ignored", waited)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
 // TestPipebatchServerGivesUp bounds the retry loop: a server that sheds
 // forever exhausts -retries and surfaces the shed as the final error.
 func TestPipebatchServerGivesUp(t *testing.T) {

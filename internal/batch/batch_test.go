@@ -151,9 +151,9 @@ func TestShardSpread(t *testing.T) {
 	seen := make(map[int]bool)
 	for _, a := range []byte(hex) {
 		for _, b := range []byte(hex) {
-			sh := shardOf(string([]byte{a, b}))
+			sh := shardIndex(string([]byte{a, b}), numShards)
 			if sh < 0 || sh >= numShards {
-				t.Fatalf("shardOf(%c%c) = %d out of range", a, b, sh)
+				t.Fatalf("shardIndex(%c%c) = %d out of range", a, b, sh)
 			}
 			seen[sh] = true
 		}

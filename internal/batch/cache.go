@@ -3,8 +3,11 @@ package batch
 import (
 	"container/list"
 	"fmt"
+	"math"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mapping"
@@ -18,14 +21,91 @@ import (
 // rather than from any fixed byte positions.
 const numShards = 32
 
-func shardOf(key string) int {
+// shardIndex hashes a key onto one of n shards (FNV-1a over the whole
+// canonical encoding).
+func shardIndex(key string, n int) int {
 	h := uint64(14695981039346656037) // FNV-1a offset basis
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= 1099511628211 // FNV-1a prime
 	}
-	return int(h % numShards)
+	return int(h % uint64(n))
 }
+
+// Policy selects the replacement policy of a bounded cache.
+//
+// The cache's shards play the role of the sets in a set-dueling cache
+// (the DRRIP design): under PolicyAdaptive a few leader shards are pinned
+// to LRU, a few to cost-aware replacement, and every other shard follows
+// whichever leader group is currently missing less, steered by a
+// saturating policy-selector counter. Cost-aware replacement evicts the
+// entry that was cheapest to compute — each entry's solve duration is
+// recorded when its result is published — so under pressure the cache
+// prefers to forget results it can recompute quickly and keeps the ones
+// that took real work. PolicyLRU and PolicyCost pin every shard to one
+// policy; they exist mainly so the load benchmark can duel the pinned
+// policies against the adaptive one.
+type Policy uint8
+
+const (
+	// PolicyAdaptive set-duels LRU against cost-aware eviction and steers
+	// follower shards to the current winner. The default.
+	PolicyAdaptive Policy = iota
+	// PolicyLRU evicts the least recently used entry everywhere.
+	PolicyLRU
+	// PolicyCost evicts the cheapest-to-recompute entry everywhere.
+	PolicyCost
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyLRU:
+		return "lru"
+	case PolicyCost:
+		return "cost"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy is the inverse of String, shared by the cmd/ tools.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "adaptive", "":
+		return PolicyAdaptive, nil
+	case "lru":
+		return PolicyLRU, nil
+	case "cost":
+		return PolicyCost, nil
+	}
+	return 0, fmt.Errorf("batch: unknown cache policy %q (want adaptive, lru or cost)", s)
+}
+
+// Set-dueling constants: a 10-bit saturating selector (the DRRIP PSEL
+// width) initialized at its midpoint, and one leader shard per four
+// shards on each side of the duel. Hardware DRRIP dedicates ~32 leader
+// sets out of thousands; this cache has only numShards sets total, so a
+// 1-in-8 ratio would leave four sets per monitor — too little traffic
+// for the selector to converge reliably. A 1-in-4 ratio both feeds the
+// selector more signal and bounds the damage of a mis-steered duel: at
+// most half the shards (the followers) can ever run the losing policy,
+// so the adaptive cache stays within a quarter of the policy gap of the
+// winner no matter what the selector does.
+const (
+	pselMax       = 1<<10 - 1
+	pselThreshold = pselMax / 2
+	leaderRatio   = 4
+)
+
+// Shard roles in the duel. Followers consult the selector; leaders are
+// pinned so their miss streams keep feeding it.
+const (
+	roleFollower = iota
+	roleLeaderLRU
+	roleLeaderCost
+)
 
 // Cache memoizes solver results by canonical job key. It is safe for
 // concurrent use and performs single-flight deduplication: when several
@@ -37,12 +117,16 @@ func shardOf(key string) int {
 // of a server process.
 //
 // A cache built with NewCacheCap is bounded: once the configured entry cap
-// is reached the least recently used entries are evicted, so a shared cache
-// can serve a long-running process without growing without bound. The cap
-// is a hard invariant — the cache never holds more than cap entries, even
-// transiently — which is kept simple by allowing in-flight entries to be
-// evicted too: waiters already hold the entry and still receive its result;
-// only the single-flight dedup for late arrivals on that key is lost.
+// is reached entries are evicted according to the configured Policy, so a
+// shared cache can serve a long-running process without growing without
+// bound. The cap is a hard invariant — the cache never holds more than cap
+// entries, even transiently — which is kept simple by allowing in-flight
+// entries to be evicted too: waiters already hold the entry and still
+// receive its result; only the single-flight dedup for late arrivals on
+// that key is lost. When the cap is smaller than the shard count the cache
+// shrinks its effective shard count to the cap instead of handing some
+// shards a zero quota, so every shard retains at least one entry and small
+// caps keep both memoization and late-arrival single-flight.
 //
 // Beyond final results, a Cache carries a second tier: compiled plans
 // (internal/plan), memoized by the canonical (instance, rule, comm) key.
@@ -53,17 +137,22 @@ func shardOf(key string) int {
 // plan. The plan tier is bounded by the same entry cap (plans are far
 // fewer than results: one per distinct instance triple, not per query).
 //
-// The zero value is not usable; call NewCache or NewCacheCap.
+// The zero value is not usable; call NewCache, NewCacheCap or
+// NewCacheCapPolicy.
 type Cache struct {
-	shards [numShards]cacheShard
-	cap    int // total entry cap; 0 = unbounded
-	plans  planCache
+	shards  [numShards]cacheShard
+	nshards int // effective shard count; < numShards only for small caps
+	cap     int // total entry cap; 0 = unbounded
+	policy  Policy
+	psel    atomic.Int32 // set-dueling selector, 0..pselMax
+	plans   planCache
 }
 
 type cacheShard struct {
 	mu      sync.Mutex
 	bounded bool
 	cap     int // this shard's slice of the total cap, meaningful when bounded
+	role    uint8
 	m       map[string]*list.Element
 	lru     list.List // front = most recently used; values are *cacheEntry
 
@@ -71,10 +160,15 @@ type cacheShard struct {
 }
 
 // cacheEntry is a single-flight slot: ready is closed once res/err are
-// final, so waiters never observe a partially written result.
+// final, so waiters never observe a partially written result. cost is the
+// wall-clock duration of the computation in nanoseconds, published
+// atomically alongside the result; -1 until then ("not yet known"), so
+// cost-aware eviction never victimizes an entry the cache has not finished
+// paying for.
 type cacheEntry struct {
 	key   string
 	ready chan struct{}
+	cost  atomic.Int64
 	res   core.Result
 	err   error
 }
@@ -83,42 +177,75 @@ type cacheEntry struct {
 func NewCache() *Cache { return NewCacheCap(0) }
 
 // NewCacheCap returns an empty memoization cache holding at most maxEntries
-// keys; beyond that the least recently used entries are evicted. A
-// non-positive maxEntries means unbounded. The cap is distributed over the
-// internal shards so their quotas sum exactly to maxEntries; keys hash
-// uniformly across shards, so each shard sees an even share of the traffic.
+// keys under the default adaptive replacement policy; a non-positive
+// maxEntries means unbounded.
 func NewCacheCap(maxEntries int) *Cache {
+	return NewCacheCapPolicy(maxEntries, PolicyAdaptive)
+}
+
+// NewCacheCapPolicy returns an empty memoization cache holding at most
+// maxEntries keys under the given replacement policy. A non-positive
+// maxEntries means unbounded. The cap is distributed over the internal
+// shards so their quotas sum exactly to maxEntries; keys hash uniformly
+// across shards, so each shard sees an even share of the traffic. A cap
+// smaller than the shard count shrinks the effective shard count to the
+// cap, flooring every live shard's quota at one entry.
+func NewCacheCapPolicy(maxEntries int, policy Policy) *Cache {
 	if maxEntries < 0 {
 		maxEntries = 0
 	}
-	c := &Cache{cap: maxEntries}
+	n := numShards
+	if maxEntries > 0 && maxEntries < numShards {
+		n = maxEntries
+	}
+	c := &Cache{cap: maxEntries, nshards: n, policy: policy}
+	c.psel.Store(pselThreshold)
 	c.plans.cap = maxEntries
 	c.plans.m = make(map[string]*list.Element)
-	quota, extra := maxEntries/numShards, maxEntries%numShards
-	for i := range c.shards {
-		c.shards[i].m = make(map[string]*list.Element)
+	quota, extra := maxEntries/n, maxEntries%n
+	leaders := 0
+	if policy == PolicyAdaptive && n >= 2 {
+		if leaders = n / leaderRatio; leaders < 1 {
+			leaders = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		sh := &c.shards[i]
+		sh.m = make(map[string]*list.Element)
+		switch {
+		case i < leaders:
+			sh.role = roleLeaderLRU
+		case i >= n-leaders && leaders > 0:
+			sh.role = roleLeaderCost
+		default:
+			sh.role = roleFollower
+		}
 		if maxEntries > 0 {
-			// A shard's quota may legitimately be zero when the total cap
-			// is smaller than the shard count: entries hashing there are
-			// evicted as soon as they are published, keeping the global
-			// bound strict (bounded distinguishes that from "unbounded").
-			c.shards[i].bounded = true
-			c.shards[i].cap = quota
+			sh.bounded = true
+			sh.cap = quota
 			if i < extra {
-				c.shards[i].cap++
+				sh.cap++
 			}
 		}
 	}
 	return c
 }
 
+// shardFor returns the shard owning key.
+func (c *Cache) shardFor(key string) *cacheShard {
+	return &c.shards[shardIndex(key, c.nshards)]
+}
+
 // Cap returns the configured entry cap (0 = unbounded).
 func (c *Cache) Cap() int { return c.cap }
+
+// Policy returns the configured replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
 
 // Len returns the number of memoized keys (including in-flight ones).
 func (c *Cache) Len() int {
 	n := 0
-	for i := range c.shards {
+	for i := 0; i < c.nshards; i++ {
 		c.shards[i].mu.Lock()
 		n += len(c.shards[i].m)
 		c.shards[i].mu.Unlock()
@@ -137,6 +264,23 @@ type CacheStats struct {
 	Hits, Misses int64
 	// Evictions counts entries dropped to keep the cache under its cap.
 	Evictions int64
+
+	// Policy names the configured replacement policy (adaptive, lru,
+	// cost); FollowerPolicy the policy follower shards currently apply —
+	// the duel's live verdict under the adaptive policy, equal to Policy
+	// when pinned.
+	Policy, FollowerPolicy string
+	// PolicySelector is the saturating set-dueling counter (0..1023,
+	// midpoint-initialized): LRU-leader misses push it up, cost-leader
+	// misses push it down, and above the midpoint followers evict by cost.
+	PolicySelector int
+	// Leader and follower traffic split by shard role, so the duel is
+	// observable: each side's leader hit rate estimates how its pinned
+	// policy would fare cache-wide.
+	LeaderLRUHits, LeaderLRUMisses   int64
+	LeaderCostHits, LeaderCostMisses int64
+	FollowerHits, FollowerMisses     int64
+
 	// PlanEntries is the number of memoized compiled plans (including
 	// in-flight compilations); PlanHits and PlanMisses count plan-tier
 	// lookups, PlanEvictions the plans dropped to keep the tier under cap.
@@ -145,37 +289,60 @@ type CacheStats struct {
 	PlanEvictions        int64
 }
 
-// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
-func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses
+func rateOf(hits, misses int64) float64 {
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(hits) / float64(total)
 }
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 { return rateOf(s.Hits, s.Misses) }
+
+// LeaderLRUHitRate returns the hit rate observed by the LRU-pinned leader
+// shards, or 0 before any leader lookup.
+func (s CacheStats) LeaderLRUHitRate() float64 { return rateOf(s.LeaderLRUHits, s.LeaderLRUMisses) }
+
+// LeaderCostHitRate returns the hit rate observed by the cost-pinned
+// leader shards, or 0 before any leader lookup.
+func (s CacheStats) LeaderCostHitRate() float64 { return rateOf(s.LeaderCostHits, s.LeaderCostMisses) }
+
+// FollowerHitRate returns the hit rate observed by the follower shards.
+func (s CacheStats) FollowerHitRate() float64 { return rateOf(s.FollowerHits, s.FollowerMisses) }
 
 // PlanHitRate returns PlanHits / (PlanHits + PlanMisses), or 0 before any
 // plan-tier lookup.
-func (s CacheStats) PlanHitRate() float64 {
-	total := s.PlanHits + s.PlanMisses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.PlanHits) / float64(total)
-}
+func (s CacheStats) PlanHitRate() float64 { return rateOf(s.PlanHits, s.PlanMisses) }
 
 // Stats returns a snapshot of the cache counters. The totals are summed
 // shard by shard without a global lock, so under concurrent traffic the
 // snapshot is approximate (each shard's contribution is itself consistent).
 func (c *Cache) Stats() CacheStats {
-	s := CacheStats{Cap: c.cap}
-	for i := range c.shards {
+	s := CacheStats{
+		Cap:            c.cap,
+		Policy:         c.policy.String(),
+		FollowerPolicy: c.followerPolicy().String(),
+		PolicySelector: int(c.psel.Load()),
+	}
+	for i := 0; i < c.nshards; i++ {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		s.Entries += len(sh.m)
 		s.Hits += sh.hits
 		s.Misses += sh.misses
 		s.Evictions += sh.evictions
+		switch sh.role {
+		case roleLeaderLRU:
+			s.LeaderLRUHits += sh.hits
+			s.LeaderLRUMisses += sh.misses
+		case roleLeaderCost:
+			s.LeaderCostHits += sh.hits
+			s.LeaderCostMisses += sh.misses
+		default:
+			s.FollowerHits += sh.hits
+			s.FollowerMisses += sh.misses
+		}
 		sh.mu.Unlock()
 	}
 	c.plans.mu.Lock()
@@ -187,21 +354,90 @@ func (c *Cache) Stats() CacheStats {
 	return s
 }
 
-// evictLocked drops least recently used entries until the shard respects
-// its quota. Called with sh.mu held, right after an insertion, so at most
-// a few iterations run. Evicting an in-flight entry is safe: its waiters
-// hold the *cacheEntry and are woken by the computing goroutine regardless
-// of map membership.
-func (sh *cacheShard) evictLocked() {
-	for sh.bounded && len(sh.m) > sh.cap {
-		back := sh.lru.Back()
-		if back == nil {
+// followerPolicy resolves what the follower shards currently evict by.
+func (c *Cache) followerPolicy() Policy {
+	if c.policy != PolicyAdaptive {
+		return c.policy
+	}
+	if c.psel.Load() > pselThreshold {
+		return PolicyCost
+	}
+	return PolicyLRU
+}
+
+// nudgePSEL moves the set-dueling selector by delta, saturating at
+// [0, pselMax].
+func (c *Cache) nudgePSEL(delta int32) {
+	for {
+		old := c.psel.Load()
+		nv := old + delta
+		if nv < 0 {
+			nv = 0
+		}
+		if nv > pselMax {
+			nv = pselMax
+		}
+		if nv == old || c.psel.CompareAndSwap(old, nv) {
 			return
 		}
-		sh.lru.Remove(back)
-		delete(sh.m, back.Value.(*cacheEntry).key)
+	}
+}
+
+// evictPolicy resolves the policy a shard evicts by right now: pinned
+// caches and leader shards are fixed, followers consult the selector.
+func (c *Cache) evictPolicy(sh *cacheShard) Policy {
+	switch c.policy {
+	case PolicyLRU, PolicyCost:
+		return c.policy
+	}
+	switch sh.role {
+	case roleLeaderLRU:
+		return PolicyLRU
+	case roleLeaderCost:
+		return PolicyCost
+	}
+	return c.followerPolicy()
+}
+
+// evictLocked drops entries until the shard respects its quota. Called
+// with sh.mu held, right after an insertion, so at most a few iterations
+// run. Evicting an in-flight entry is safe: its waiters hold the
+// *cacheEntry and are woken by the computing goroutine regardless of map
+// membership.
+func (c *Cache) evictLocked(sh *cacheShard) {
+	for sh.bounded && len(sh.m) > sh.cap {
+		victim := sh.lru.Back()
+		if c.evictPolicy(sh) == PolicyCost {
+			victim = sh.cheapestLocked()
+		}
+		if victim == nil {
+			return
+		}
+		sh.lru.Remove(victim)
+		delete(sh.m, victim.Value.(*cacheEntry).key)
 		sh.evictions++
 	}
+}
+
+// cheapestLocked returns the published entry that was cheapest to compute
+// (the least loss to recompute later). In-flight entries — cost still
+// unknown — are skipped, which also protects the entry whose insertion
+// triggered this eviction; when every entry is in flight it falls back to
+// the LRU victim. The scan is linear in the shard's quota, which the shard
+// count keeps small.
+func (sh *cacheShard) cheapestLocked() *list.Element {
+	var best *list.Element
+	bestCost := int64(math.MaxInt64)
+	for el := sh.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if cost := e.cost.Load(); cost >= 0 && cost < bestCost {
+			best, bestCost = el, cost
+		}
+	}
+	if best == nil {
+		return sh.lru.Back()
+	}
+	return best
 }
 
 // do returns the result for key, computing it with compute on first
@@ -218,7 +454,7 @@ func (sh *cacheShard) evictLocked() {
 // alike. A long-running process thus survives a poisoned request without
 // wedging every future request that hashes to the same key.
 func (c *Cache) do(key string, compute func() (core.Result, error)) (res core.Result, err error, hit bool) {
-	sh := &c.shards[shardOf(key)]
+	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if el, ok := sh.m[key]; ok {
 		e := el.Value.(*cacheEntry)
@@ -229,15 +465,32 @@ func (c *Cache) do(key string, compute func() (core.Result, error)) (res core.Re
 		return cloneStored(e.res, e.err), e.err, true
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e.cost.Store(-1)
 	sh.m[key] = sh.lru.PushFront(e)
 	sh.misses++
-	sh.evictLocked()
+	c.evictLocked(sh)
 	sh.mu.Unlock()
+	if c.policy == PolicyAdaptive {
+		// A leader miss is one vote against its pinned policy: misses in
+		// the LRU leaders push the selector toward cost-aware eviction
+		// and vice versa (the DRRIP set-dueling rule).
+		switch sh.role {
+		case roleLeaderLRU:
+			c.nudgePSEL(+1)
+		case roleLeaderCost:
+			c.nudgePSEL(-1)
+		}
+	}
 
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			e.err = fmt.Errorf("batch: memoized computation panicked: %v\n%s", r, debug.Stack())
 		}
+		// The observed solve duration is the entry's recompute cost; it
+		// must land before waiters wake so cost-aware eviction never sees
+		// a published entry without one.
+		e.cost.Store(int64(time.Since(start)))
 		close(e.ready)
 		if e.err == nil && e.res.Preempted {
 			c.forget(key, e)
@@ -256,7 +509,7 @@ func (c *Cache) do(key string, compute func() (core.Result, error)) (res core.Re
 // transient stall permanently poison budget-free solves of the same
 // problem.
 func (c *Cache) forget(key string, e *cacheEntry) {
-	sh := &c.shards[shardOf(key)]
+	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if el, ok := sh.m[key]; ok && el.Value.(*cacheEntry) == e {
 		sh.lru.Remove(el)

@@ -1,0 +1,506 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/gen"
+	"repro/internal/jobspec"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+	"repro/internal/server"
+)
+
+// Load-experiment shape. The two traffic patterns are built to separate
+// the cache policies: the zipf corpus holds far more distinct jobs than
+// the cluster's total cache capacity (3 x loadCacheCap), so replacement
+// pressure is constant, and its popularity ranking anti-correlates with
+// recompute cost — the hot head is the loadHotJobs cheapest scenarios
+// (microsecond solves), the cold tail is drawn from the loadExpensivePool
+// most expensive ones (millisecond solves, distinct keys via the request
+// seed). Under that regime cost-aware eviction reliably loses: it hoards
+// expensive cold results and keeps re-evicting the cheap hot set, while
+// LRU keeps the hot set resident, so the duel has a decisive winner for
+// the adaptive tier to find. The uniform working set is small enough
+// that no shard ever exceeds its quota, so every policy scores the
+// identical hit rate and the adaptive tier can only match it, never
+// lose. The gate ("adaptive >= the worse pinned policy on both
+// traffics") therefore has a wide margin under zipf and an exact tie
+// under uniform.
+const (
+	loadReplicas      = 3
+	loadBatchJobs     = 8
+	loadCacheCap      = 64 // per replica; 32 shards x quota 2
+	loadPricedPool    = 600
+	loadHotJobs       = 64
+	loadColdJobs      = 2000
+	loadExpensivePool = 100
+	loadZipfS         = 1.2
+	loadUniformCorpus = 16
+	loadExactCap      = 500 // branch-and-bound node budget, as in chaos
+	loadWorkers       = 4   // concurrent client posters
+)
+
+// loadJob is one pre-encoded corpus job: the instance JSON and the wire
+// request that BuildRequest maps back onto the exact generated engine
+// request (jobspec.RequestOf round trip).
+type loadJob struct {
+	inst json.RawMessage
+	req  jobspec.Request
+}
+
+// loadRun is one (traffic, policy) measurement in BENCH_service.json.
+// All numbers cover the measured phase only (the equal-sized warmup that
+// precedes it is excluded; hits/misses/evictions are deltas of the
+// cumulative /stats counters across the phase).
+type loadRun struct {
+	Traffic              string  `json:"traffic"`
+	Policy               string  `json:"policy"`
+	Batches              int     `json:"batches"`
+	Jobs                 int     `json:"jobs"`
+	JobErrors            int     `json:"jobErrors"` // infeasible degenerate draws; sheds fail the run
+	ThroughputJobsPerSec float64 `json:"throughputJobsPerSec"`
+	P50Ms                float64 `json:"p50Ms"`
+	P99Ms                float64 `json:"p99Ms"`
+	CacheHits            int64   `json:"cacheHits"`
+	CacheMisses          int64   `json:"cacheMisses"`
+	Evictions            int64   `json:"evictions"`
+	HitRate              float64 `json:"hitRate"`
+	// FollowerPolicies is each replica's final follower policy (adaptive
+	// runs only): what the set duel converged to.
+	FollowerPolicies []string `json:"followerPolicies,omitempty"`
+}
+
+// loadGate records one traffic's acceptance check: the adaptive policy's
+// hit rate must not fall below the worse of the two pinned policies.
+type loadGate struct {
+	Traffic     string  `json:"traffic"`
+	Adaptive    float64 `json:"adaptive"`
+	WorsePinned float64 `json:"worsePinned"`
+	WorsePolicy string  `json:"worsePolicy"`
+	OK          bool    `json:"ok"`
+}
+
+// loadBench is the BENCH_service.json document.
+type loadBench struct {
+	Schema             string     `json:"schema"`
+	Seed               int64      `json:"seed"`
+	Replicas           int        `json:"replicas"`
+	Batches            int        `json:"batches"`
+	BatchJobs          int        `json:"batchJobs"`
+	CacheCapPerReplica int        `json:"cacheCapPerReplica"`
+	ZipfCorpus         int        `json:"zipfCorpus"`
+	ZipfHotJobs        int        `json:"zipfHotJobs"`
+	ZipfColdJobs       int        `json:"zipfColdJobs"`
+	ZipfS              float64    `json:"zipfS"`
+	UniformCorpus      int        `json:"uniformCorpus"`
+	Runs               []loadRun  `json:"runs"`
+	Gates              []loadGate `json:"gates"`
+}
+
+// Load runs the service load experiment (experiment LOAD): an in-process
+// cluster of loadReplicas pipeserved replicas behind the consistent-hash
+// gateway, driven with batched solver traffic drawn from the seeded
+// scenario corpus. For each traffic pattern (zipf over a corpus much
+// larger than the cluster's cache capacity; uniform over a working set
+// that fits) it measures throughput, per-batch p50/p99 latency and the
+// cluster-wide cache hit rate under each replacement policy — lru and
+// cost pinned, then the set-dueling adaptive tier — and enforces the
+// acceptance gate: adaptive's hit rate must be at least the worse pinned
+// policy's on both traffics. Each measurement drives an equal-sized
+// unmeasured warmup first, so the reported numbers are steady state.
+// Results are written to outPath (BENCH_service.json). batches <= 0 runs
+// 100 measured batches per (traffic, policy) pair.
+func Load(w io.Writer, seed int64, batches int, outPath string) error {
+	if batches <= 0 {
+		batches = 100
+	}
+	jobs, err := loadCorpusJobs(seed)
+	if err != nil {
+		return fmt.Errorf("experiments: building load corpus: %w", err)
+	}
+
+	// Pre-draw both traffic streams once so the three policy runs of a
+	// traffic replay byte-identical request sequences.
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, loadZipfS, 1, uint64(len(jobs)-1))
+	zipfStream := make([]int, 2*batches*loadBatchJobs) // warmup half + measured half
+	for i := range zipfStream {
+		zipfStream[i] = int(zipf.Uint64())
+	}
+	uniStream := make([]int, 2*batches*loadBatchJobs)
+	for i := range uniStream {
+		uniStream[i] = rng.Intn(loadUniformCorpus)
+	}
+
+	traffics := []struct {
+		name   string
+		jobs   []loadJob
+		stream []int
+	}{
+		{"zipf", jobs, zipfStream},
+		{"uniform", jobs[:loadUniformCorpus], uniStream},
+	}
+	policies := []batch.Policy{batch.PolicyLRU, batch.PolicyCost, batch.PolicyAdaptive}
+
+	bench := loadBench{
+		Schema:             "pipegateway-load/v1",
+		Seed:               seed,
+		Replicas:           loadReplicas,
+		Batches:            batches,
+		BatchJobs:          loadBatchJobs,
+		CacheCapPerReplica: loadCacheCap,
+		ZipfCorpus:         len(jobs),
+		ZipfHotJobs:        loadHotJobs,
+		ZipfColdJobs:       loadColdJobs,
+		ZipfS:              loadZipfS,
+		UniformCorpus:      loadUniformCorpus,
+	}
+	rates := make(map[string]map[string]float64) // traffic -> policy -> hit rate
+	for _, tr := range traffics {
+		rates[tr.name] = make(map[string]float64)
+		for _, pol := range policies {
+			run, err := loadRunOne(tr.name, pol, tr.jobs, tr.stream, batches)
+			if err != nil {
+				return fmt.Errorf("experiments: load run %s/%s: %w", tr.name, pol, err)
+			}
+			bench.Runs = append(bench.Runs, run)
+			rates[tr.name][pol.String()] = run.HitRate
+		}
+	}
+
+	for _, tr := range traffics {
+		r := rates[tr.name]
+		worse, worsePol := r["lru"], "lru"
+		if r["cost"] < worse {
+			worse, worsePol = r["cost"], "cost"
+		}
+		// A hair of float tolerance: the gate is about policy quality, not
+		// round-off in the hit-rate division.
+		//lint:allow floatcmp the gate compares measured rates with an explicit epsilon
+		ok := r["adaptive"] >= worse-1e-9
+		bench.Gates = append(bench.Gates, loadGate{
+			Traffic: tr.name, Adaptive: r["adaptive"],
+			WorsePinned: worse, WorsePolicy: worsePol, OK: ok,
+		})
+	}
+
+	tb := report.New(fmt.Sprintf("LOAD - %d-replica gateway cluster, %d batches x %d jobs (seed %d)",
+		loadReplicas, batches, loadBatchJobs, seed),
+		"traffic/policy", "jobs/s", "p50 ms", "p99 ms", "hit rate", "evictions", "ok")
+	for _, run := range bench.Runs {
+		tb.Addf(run.Traffic+"/"+run.Policy,
+			fmt.Sprintf("%.0f", run.ThroughputJobsPerSec),
+			fmt.Sprintf("%.2f", run.P50Ms), fmt.Sprintf("%.2f", run.P99Ms),
+			fmt.Sprintf("%.3f", run.HitRate), run.Evictions, "-")
+	}
+	for _, gt := range bench.Gates {
+		tb.Addf(fmt.Sprintf("gate %s: adaptive >= worse pinned (%s)", gt.Traffic, gt.WorsePolicy),
+			"-", "-", "-",
+			fmt.Sprintf("%.3f >= %.3f", gt.Adaptive, gt.WorsePinned), "-", okMark(gt.OK))
+	}
+	tb.Render(w)
+	fmt.Fprintln(w)
+
+	out, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiments: writing %s: %w", outPath, err)
+	}
+	fmt.Fprintf(w, "load: wrote %s (%d runs)\n", outPath, len(bench.Runs))
+
+	for _, gt := range bench.Gates {
+		if !gt.OK {
+			return fmt.Errorf("experiments: load gate failed on %s traffic: adaptive hit rate %.4f < worse pinned (%s) %.4f",
+				gt.Traffic, gt.Adaptive, gt.WorsePolicy, gt.WorsePinned)
+		}
+	}
+	return nil
+}
+
+// loadCorpusJobs renders the seeded scenario corpus into wire jobs: each
+// instance encoded once, each request shipped through jobspec.RequestOf
+// so the replica solves the exact generated problem. Exact budgets are
+// capped as in the chaos experiment so no single cold miss dominates a
+// batch.
+//
+// The priced pool is split bimodally: the loadHotJobs cheapest scenarios
+// become the corpus head (zipf's hot set, also the uniform working set),
+// and the cold tail is synthesized from the loadExpensivePool most
+// expensive scenarios, each repeated under distinct request seeds — a
+// different seed changes the canonical cache key but not the
+// (millisecond-scale) recompute cost. The resulting ~1000x cost gap
+// between hot and cold entries is far beyond any replica-side timing
+// noise, so cost-aware eviction's ranking of "cheapest to recompute" is
+// unambiguous during the run.
+func loadCorpusJobs(seed int64) ([]loadJob, error) {
+	corpus := gen.DefaultSpace().Corpus(seed, loadPricedPool)
+	priced := make([]loadJob, len(corpus))
+	costs := make([]time.Duration, len(corpus))
+	for i := range corpus {
+		sc := &corpus[i]
+		var buf bytes.Buffer
+		if err := pipeline.EncodeJSON(&buf, &sc.Inst); err != nil {
+			return nil, fmt.Errorf("scenario %d (%s): %w", sc.Index, sc.Name, err)
+		}
+		req := sc.Req
+		if req.ExactLimit == 0 || req.ExactLimit > loadExactCap {
+			req.ExactLimit = loadExactCap
+		}
+		// One local solve per scenario prices the job the same way a
+		// replica's cache will (solve wall clock at publish). Infeasible
+		// degenerate draws fail fast and price accordingly.
+		start := time.Now()
+		core.Solve(&sc.Inst, req)
+		costs[i] = time.Since(start)
+		priced[i] = loadJob{
+			inst: json.RawMessage(bytes.Clone(buf.Bytes())),
+			req:  jobspec.RequestOf(req),
+		}
+	}
+	sort.Sort(&loadByCost{jobs: priced, costs: costs})
+
+	jobs := make([]loadJob, 0, loadHotJobs+loadColdJobs)
+	jobs = append(jobs, priced[:loadHotJobs]...)
+	pool := priced[len(priced)-loadExpensivePool:]
+	for j := 0; j < loadColdJobs; j++ {
+		v := pool[j%len(pool)]
+		v.req.Seed = int64(1000 + j)
+		jobs = append(jobs, v)
+	}
+	return jobs, nil
+}
+
+// loadByCost sorts jobs and their measured costs together, cheapest
+// first.
+type loadByCost struct {
+	jobs  []loadJob
+	costs []time.Duration
+}
+
+func (s *loadByCost) Len() int           { return len(s.jobs) }
+func (s *loadByCost) Less(i, j int) bool { return s.costs[i] < s.costs[j] }
+func (s *loadByCost) Swap(i, j int) {
+	s.jobs[i], s.jobs[j] = s.jobs[j], s.jobs[i]
+	s.costs[i], s.costs[j] = s.costs[j], s.costs[i]
+}
+
+// loadStats is the slice of the gateway's /stats document the experiment
+// reads back after a run.
+type loadStats struct {
+	Replicas []struct {
+		Stats *struct {
+			Cache struct {
+				FollowerPolicy string `json:"followerPolicy"`
+			} `json:"cache"`
+		} `json:"stats"`
+	} `json:"replicas"`
+	Merged struct {
+		CacheHits   int64 `json:"cacheHits"`
+		CacheMisses int64 `json:"cacheMisses"`
+		Evictions   int64 `json:"evictions"`
+	} `json:"merged"`
+}
+
+// loadRunOne stands up a fresh cluster (loadReplicas pipeserved replicas
+// with the given cache policy behind one gateway), replays the traffic
+// stream as batches through concurrent client workers, and reads the
+// merged /stats. The first half of the stream is warmup — caches fill,
+// the set duel converges — and is excluded: throughput, latency and hit
+// rate are computed over the measured second half (for the hit rate, as
+// the delta of the cumulative /stats counters), so the numbers describe
+// the steady state rather than the cold start. Per-job infeasible errors
+// (degenerate corpus draws) are counted and tolerated; a shed or
+// internal error slot fails the run — with every replica up, the
+// serving path must never drop a job.
+func loadRunOne(traffic string, pol batch.Policy, jobs []loadJob, stream []int, batches int) (loadRun, error) {
+	urls := make([]string, loadReplicas)
+	closers := make([]func(), 0, loadReplicas+1)
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for i := range urls {
+		ts := httptest.NewServer(server.New(server.Config{CacheCap: loadCacheCap, CachePolicy: pol}))
+		closers = append(closers, ts.Close)
+		urls[i] = ts.URL
+	}
+	client := gateway.NewClient(2 * time.Minute)
+	gw, err := gateway.New(gateway.Config{
+		Replicas:  urls,
+		Client:    client,
+		RetryBase: time.Millisecond,
+		Seed:      1,
+	})
+	if err != nil {
+		return loadRun{}, err
+	}
+	gts := httptest.NewServer(gw)
+	closers = append(closers, gts.Close)
+
+	bodies := make([][]byte, 2*batches) // first half warmup, second measured
+	for b := range bodies {
+		file := jobspec.File{Jobs: make([]jobspec.Job, loadBatchJobs)}
+		for j := range file.Jobs {
+			lj := jobs[stream[b*loadBatchJobs+j]]
+			file.Jobs[j] = jobspec.Job{Instance: lj.inst, Request: lj.req}
+		}
+		body, err := json.Marshal(file)
+		if err != nil {
+			return loadRun{}, err
+		}
+		bodies[b] = body
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies = make([]float64, 0, batches)
+		jobErrors int
+		firstErr  error
+	)
+	drive := func(part [][]byte, collect bool) {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < loadWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for b := range next {
+					t0 := time.Now()
+					errs, err := loadPostBatch(client, gts.URL, part[b])
+					ms := float64(time.Since(t0).Microseconds()) / 1000
+					mu.Lock()
+					if collect {
+						latencies = append(latencies, ms)
+						jobErrors += errs
+					}
+					if err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("batch %d: %w", b, err)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for b := range part {
+			next <- b
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	drive(bodies[:batches], false)
+	if firstErr != nil {
+		return loadRun{}, fmt.Errorf("warmup: %w", firstErr)
+	}
+	before, err := loadSampleStats(client, gts.URL)
+	if err != nil {
+		return loadRun{}, err
+	}
+	start := time.Now()
+	drive(bodies[batches:], true)
+	wall := time.Since(start)
+	if firstErr != nil {
+		return loadRun{}, firstErr
+	}
+	after, err := loadSampleStats(client, gts.URL)
+	if err != nil {
+		return loadRun{}, err
+	}
+
+	hits := after.Merged.CacheHits - before.Merged.CacheHits
+	misses := after.Merged.CacheMisses - before.Merged.CacheMisses
+	run := loadRun{
+		Traffic:              traffic,
+		Policy:               pol.String(),
+		Batches:              batches,
+		Jobs:                 batches * loadBatchJobs,
+		JobErrors:            jobErrors,
+		ThroughputJobsPerSec: float64(batches*loadBatchJobs) / wall.Seconds(),
+		P50Ms:                percentile(latencies, 0.50),
+		P99Ms:                percentile(latencies, 0.99),
+		CacheHits:            hits,
+		CacheMisses:          misses,
+		Evictions:            after.Merged.Evictions - before.Merged.Evictions,
+	}
+	if total := hits + misses; total > 0 {
+		run.HitRate = float64(hits) / float64(total)
+	}
+	if pol == batch.PolicyAdaptive {
+		for _, rep := range after.Replicas {
+			if rep.Stats != nil {
+				run.FollowerPolicies = append(run.FollowerPolicies, rep.Stats.Cache.FollowerPolicy)
+			}
+		}
+	}
+	return run, nil
+}
+
+// loadSampleStats reads the gateway's /stats once.
+func loadSampleStats(client *http.Client, base string) (loadStats, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return loadStats{}, err
+	}
+	defer resp.Body.Close()
+	var st loadStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return loadStats{}, fmt.Errorf("decoding /stats: %w", err)
+	}
+	return st, nil
+}
+
+// loadPostBatch posts one batch and scans the result slots: infeasible
+// errors are counted (the corpus deliberately contains degenerate,
+// infeasible draws), any shed/timeout/internal slot or non-200 response
+// is a hard failure.
+func loadPostBatch(client *http.Client, base string, body []byte) (jobErrors int, err error) {
+	resp, err := client.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("gateway answered %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var out struct {
+		Results []struct {
+			Code  string `json:"code"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return 0, err
+	}
+	for i, r := range out.Results {
+		if r.Error == "" {
+			continue
+		}
+		switch r.Code {
+		case jobspec.CodeShed, jobspec.CodeTimeout, jobspec.CodeInternal:
+			return jobErrors, fmt.Errorf("job %d dropped by the serving path (%s): %s", i, r.Code, r.Error)
+		default:
+			jobErrors++
+		}
+	}
+	return jobErrors, nil
+}

@@ -202,6 +202,27 @@ func BuildRequest(inst *pipeline.Instance, rj Request) (core.Request, error) {
 	return req, nil
 }
 
+// RequestOf is the inverse of BuildRequest: it renders an engine request
+// in wire form, with the bounds as explicit per-application arrays (the
+// engine form has no memory of whether a bound came from a global
+// threshold). BuildRequest(inst, RequestOf(req)) reproduces req exactly,
+// so generated workloads can be shipped to a remote service and solve
+// the same problem bit-for-bit.
+func RequestOf(req core.Request) Request {
+	return Request{
+		Rule:          req.Rule.String(),
+		Model:         req.Model.String(),
+		Objective:     req.Objective.String(),
+		PeriodBounds:  req.PeriodBounds,
+		LatencyBounds: req.LatencyBounds,
+		EnergyBudget:  req.EnergyBudget,
+		Seed:          req.Seed,
+		ExactLimit:    req.ExactLimit,
+		HeurIters:     req.HeurIters,
+		HeurRestarts:  req.HeurRestarts,
+	}
+}
+
 func orDefault(s, def string) string {
 	if s == "" {
 		return def

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/gen"
 	"repro/internal/pipeline"
 )
 
@@ -137,6 +139,29 @@ func TestBuildRequestDefaultsAndBounds(t *testing.T) {
 	}
 	if _, err = BuildRequest(&inst, Request{Rule: "bogus"}); err == nil {
 		t.Error("bogus rule accepted")
+	}
+}
+
+// TestRequestOfRoundTrip pins RequestOf as BuildRequest's inverse over
+// the seeded scenario corpus: shipping a generated request through the
+// wire form must reproduce the exact engine request, canonical key
+// included — the gateway's routing and the load experiment both depend
+// on it.
+func TestRequestOfRoundTrip(t *testing.T) {
+	space := gen.DefaultSpace()
+	for i := 0; i < 60; i++ {
+		sc := space.Sample(7, i)
+		rebuilt, err := BuildRequest(&sc.Inst, RequestOf(sc.Req))
+		if err != nil {
+			t.Fatalf("scenario %d (%s): %v", i, sc.Name, err)
+		}
+		if !reflect.DeepEqual(rebuilt, sc.Req) {
+			t.Errorf("scenario %d (%s): round trip changed the request:\ngot  %+v\nwant %+v",
+				i, sc.Name, rebuilt, sc.Req)
+		}
+		if batch.Key(&sc.Inst, rebuilt) != batch.Key(&sc.Inst, sc.Req) {
+			t.Errorf("scenario %d: canonical key changed across the round trip", i)
+		}
 	}
 }
 

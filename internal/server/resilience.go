@@ -51,8 +51,12 @@ func (s *Server) admit(r *http.Request) (release func(), ok bool, err error) {
 // breaker is a per-endpoint circuit breaker over deadline overruns.
 // Closed, it counts consecutive 504s; at threshold it opens and sheds
 // every request for the cooldown. After the cooldown it is half-open:
-// requests flow again, but the overrun streak is retained, so a single
-// further overrun re-opens the circuit while one success closes it.
+// exactly one probe request is admitted to test the endpoint — a burst
+// arriving at cooldown expiry must not land whole on an endpoint that
+// just proved unhealthy — and everything else is shed with a Retry-After
+// until the probe reports back. The overrun streak is retained across the
+// open period, so a probe that overruns re-opens the circuit while one
+// success closes it.
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
@@ -60,29 +64,47 @@ type breaker struct {
 	mu          sync.Mutex
 	consecutive int
 	openUntil   time.Time
+	probing     bool // a half-open probe is in flight
 }
 
-// allow reports whether a request may proceed; when it may not, wait is
-// the remaining cooldown (the Retry-After hint).
-func (b *breaker) allow(now time.Time) (ok bool, wait time.Duration) {
+// allow reports whether a request may proceed; probe marks it as the
+// single half-open probe (the caller must feed exactly that value back to
+// record so the probe slot is released). When the request may not
+// proceed, wait is the Retry-After hint: the remaining cooldown while
+// open, or the full cooldown while a probe is in flight (the probe's
+// verdict is due well within it).
+func (b *breaker) allow(now time.Time) (ok, probe bool, wait time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if now.Before(b.openUntil) {
-		return false, b.openUntil.Sub(now)
+		return false, false, b.openUntil.Sub(now)
 	}
-	return true, 0
+	if b.consecutive >= b.threshold {
+		// Half-open: the cooldown has passed but the endpoint has not
+		// proven itself yet.
+		if b.probing {
+			return false, false, b.cooldown
+		}
+		b.probing = true
+		return true, true, 0
+	}
+	return true, false, 0
 }
 
-// record feeds one completed request into the breaker. A 504 is an
-// overrun; a shed (429) or an abandoned request (503, the client went
-// away) says nothing about the endpoint's health and leaves the streak
-// untouched; anything else is a success and closes the circuit.
-func (b *breaker) record(now time.Time, status int) {
+// record feeds one completed request into the breaker, releasing the
+// half-open probe slot when the request held it. A 504 is an overrun; a
+// shed (429) or an abandoned request (503, the client went away) says
+// nothing about the endpoint's health and leaves the streak untouched;
+// anything else is a success and closes the circuit.
+func (b *breaker) record(now time.Time, status int, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if status != http.StatusGatewayTimeout {
 		b.consecutive = 0
 		b.openUntil = time.Time{}

@@ -167,36 +167,107 @@ func TestBreakerTripsAndCoolsDown(t *testing.T) {
 func TestBreakerStateMachine(t *testing.T) {
 	b := &breaker{threshold: 2, cooldown: time.Minute}
 	t0 := time.Unix(1000, 0)
-	if ok, _ := b.allow(t0); !ok {
-		t.Fatal("fresh breaker is not closed")
+	if ok, probe, _ := b.allow(t0); !ok || probe {
+		t.Fatalf("fresh breaker: ok=%v probe=%v, want closed non-probe admit", ok, probe)
 	}
-	b.record(t0, http.StatusGatewayTimeout)
-	if ok, _ := b.allow(t0); !ok {
+	b.record(t0, http.StatusGatewayTimeout, false)
+	if ok, _, _ := b.allow(t0); !ok {
 		t.Fatal("one overrun below threshold opened the circuit")
 	}
 	// A shed in between must not reset the streak.
-	b.record(t0, http.StatusTooManyRequests)
-	b.record(t0, http.StatusGatewayTimeout)
-	if ok, wait := b.allow(t0); ok || wait <= 0 {
+	b.record(t0, http.StatusTooManyRequests, false)
+	b.record(t0, http.StatusGatewayTimeout, false)
+	if ok, _, wait := b.allow(t0); ok || wait <= 0 {
 		t.Fatalf("threshold overruns did not open the circuit (ok=%v wait=%v)", ok, wait)
 	}
 	if got := b.state(t0); got != "open" {
 		t.Fatalf("state = %q, want open", got)
 	}
 	after := t0.Add(2 * time.Minute)
-	if ok, _ := b.allow(after); !ok {
-		t.Fatal("cooldown elapsed but probe not admitted")
+	ok, probe, _ := b.allow(after)
+	if !ok || !probe {
+		t.Fatalf("cooldown elapsed: ok=%v probe=%v, want the half-open probe admitted", ok, probe)
 	}
 	if got := b.state(after); got != "half-open" {
 		t.Fatalf("state = %q, want half-open", got)
 	}
-	b.record(after, http.StatusOK)
+	b.record(after, http.StatusOK, probe)
 	if got := b.state(after); got != "closed" {
 		t.Fatalf("successful probe left state %q, want closed", got)
 	}
-	b.record(after, http.StatusGatewayTimeout)
-	if ok, _ := b.allow(after); !ok {
+	b.record(after, http.StatusGatewayTimeout, false)
+	if ok, _, _ := b.allow(after); !ok {
 		t.Fatal("closed circuit opened after a single overrun")
+	}
+}
+
+// TestBreakerSingleHalfOpenProbe is the half-open thundering-herd
+// satellite regression: after the cooldown, exactly one request may probe
+// the endpoint — a concurrent burst must be shed with a Retry-After hint,
+// not land whole on an endpoint that just proved unhealthy.
+func TestBreakerSingleHalfOpenProbe(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: time.Minute}
+	t0 := time.Unix(1000, 0)
+	b.record(t0, http.StatusGatewayTimeout, false) // trips: threshold 1
+	after := t0.Add(2 * time.Minute)
+
+	// A concurrent burst arrives exactly at cooldown expiry.
+	const burst = 16
+	var mu sync.Mutex
+	admitted, probes, shed := 0, 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, probe, wait := b.allow(after)
+			mu.Lock()
+			defer mu.Unlock()
+			if ok {
+				admitted++
+				if probe {
+					probes++
+				}
+			} else {
+				shed++
+				if wait <= 0 {
+					t.Error("shed half-open request carries no Retry-After hint")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 || probes != 1 || shed != burst-1 {
+		t.Fatalf("half-open burst of %d: admitted=%d probes=%d shed=%d, want exactly one probe",
+			burst, admitted, probes, shed)
+	}
+
+	// While the probe is in flight every later arrival is shed too...
+	if ok, _, _ := b.allow(after.Add(time.Second)); ok {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	// ...even one whose own status says nothing about health (a 429 from
+	// the admission gate must not release the probe slot it never held).
+	b.record(after.Add(time.Second), http.StatusTooManyRequests, false)
+	if ok, _, _ := b.allow(after.Add(2 * time.Second)); ok {
+		t.Fatal("bystander 429 released the in-flight probe's slot")
+	}
+
+	// The probe reporting back releases the slot: an overrun re-opens the
+	// circuit for a fresh cooldown, then the next window admits one probe
+	// again.
+	b.record(after.Add(3*time.Second), http.StatusGatewayTimeout, true)
+	if ok, _, wait := b.allow(after.Add(4 * time.Second)); ok || wait <= 0 {
+		t.Fatalf("failed probe did not re-open the circuit (ok=%v wait=%v)", ok, wait)
+	}
+	next := after.Add(3*time.Second + 2*time.Minute)
+	if ok, probe, _ := b.allow(next); !ok || !probe {
+		t.Fatalf("next cooldown window: ok=%v probe=%v, want a fresh probe", ok, probe)
+	}
+	// A successful probe closes the circuit for everyone.
+	b.record(next, http.StatusOK, true)
+	if ok, probe, _ := b.allow(next.Add(time.Second)); !ok || probe {
+		t.Fatalf("after recovery: ok=%v probe=%v, want plain closed admission", ok, probe)
 	}
 }
 

@@ -72,6 +72,11 @@ type Config struct {
 	// CacheCap bounds the shared memoization cache (number of entries);
 	// <= 0 means unbounded. A long-running deployment should set a cap.
 	CacheCap int
+	// CachePolicy selects the bounded cache's replacement policy. The zero
+	// value is batch.PolicyAdaptive (set-dueling between LRU and cost-aware
+	// eviction); batch.PolicyLRU and batch.PolicyCost pin one policy, which
+	// the load experiment uses to duel the policies against each other.
+	CachePolicy batch.Policy
 	// Timeout is the per-request wall-clock budget; 0 disables it. When it
 	// expires the request's context is cancelled: queued solver jobs
 	// return the context error and the response reports 504.
@@ -155,7 +160,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:      cfg,
-		cache:    batch.NewCacheCap(cfg.CacheCap),
+		cache:    batch.NewCacheCapPolicy(cfg.CacheCap, cfg.CachePolicy),
 		log:      logger,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
@@ -240,7 +245,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if br := s.breakers[key]; br != nil {
-		if ok, wait := br.allow(time.Now()); !ok {
+		ok, probe, wait := br.allow(time.Now())
+		if !ok {
 			s.shed.Add(1)
 			writeShed(w, http.StatusServiceUnavailable, wait,
 				fmt.Errorf("circuit open for %s after repeated deadline overruns; retry after %v", key, wait.Round(time.Millisecond)))
@@ -248,7 +254,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		w = sr
-		defer func() { br.record(time.Now(), sr.status) }()
+		defer func() { br.record(time.Now(), sr.status, probe) }()
 	}
 	release, ok, err := s.admit(r)
 	if err != nil {
@@ -624,6 +630,16 @@ type cacheStatsJSON struct {
 	Evictions int64   `json:"evictions"`
 	HitRate   float64 `json:"hitRate"`
 
+	// The replacement-policy duel (see batch.Policy): the configured
+	// policy, the policy follower shards currently apply, the saturating
+	// selector steering them, and each leader group's observed hit rate.
+	Policy            string  `json:"policy"`
+	FollowerPolicy    string  `json:"followerPolicy"`
+	PolicySelector    int     `json:"policySelector"`
+	LeaderLRUHitRate  float64 `json:"leaderLRUHitRate"`
+	LeaderCostHitRate float64 `json:"leaderCostHitRate"`
+	FollowerHitRate   float64 `json:"followerHitRate"`
+
 	PlanEntries   int     `json:"planEntries"`
 	PlanHits      int64   `json:"planHits"`
 	PlanMisses    int64   `json:"planMisses"`
@@ -663,6 +679,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Misses:    cs.Misses,
 			Evictions: cs.Evictions,
 			HitRate:   cs.HitRate(),
+
+			Policy:            cs.Policy,
+			FollowerPolicy:    cs.FollowerPolicy,
+			PolicySelector:    cs.PolicySelector,
+			LeaderLRUHitRate:  cs.LeaderLRUHitRate(),
+			LeaderCostHitRate: cs.LeaderCostHitRate(),
+			FollowerHitRate:   cs.FollowerHitRate(),
 
 			PlanEntries:   cs.PlanEntries,
 			PlanHits:      cs.PlanHits,
